@@ -1,0 +1,82 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  * rotation regulation on/off (Sec. VI-A staleness control),
+//  * P_s sweep (top-contribution share; paper recommends 0.05-0.1),
+//  * expected-volume sweep (the acceleration/accuracy trade-off),
+//  * Static Prune baseline (permanent pruning, Sec. II-B criticism).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/helios_strategy.h"
+
+int main() {
+  using namespace helios;
+  const bench::Scale scale = bench::scale_from_env();
+  bench::TaskSpec task = bench::lenet_task(scale);
+  const bench::FleetSetup setup{4, 2, false, 7};
+
+  auto run_with = [&](const std::string& label, core::HeliosConfig cfg,
+                      double volume_override = 0.0) {
+    fl::Fleet fleet = bench::build_fleet(task, setup);
+    if (volume_override > 0.0) {
+      for (auto* s : fleet.stragglers()) s->set_volume(volume_override);
+      cfg.pace_adaptation_cycles = 0;  // hold the volume fixed
+    }
+    core::HeliosStrategy strategy(cfg);
+    fl::RunResult res = strategy.run(fleet, task.cycles);
+    res.method = label;
+    return res;
+  };
+
+  // 1. Rotation regulation on/off.
+  {
+    core::HeliosConfig on;
+    core::HeliosConfig off;
+    off.rotation_regulation = false;
+    std::vector<fl::RunResult> results{run_with("rotation on", on),
+                                       run_with("rotation off", off)};
+    bench::print_accuracy_series(
+        std::cout, "Ablation: neuron rotation regulation (" + task.name + ")",
+        results);
+  }
+
+  // 2. P_s sweep.
+  {
+    std::vector<fl::RunResult> results;
+    for (double ps : {0.05, 0.1, 0.3, 1.0}) {
+      core::HeliosConfig cfg;
+      cfg.ps = ps;
+      results.push_back(
+          run_with("Ps=" + util::Table::num(ps, 2), cfg));
+    }
+    bench::print_accuracy_series(
+        std::cout,
+        "Ablation: P_s (top-contribution share; paper recommends 0.05-0.1)",
+        results);
+  }
+
+  // 3. Volume sweep at fixed volumes (no pace adaptation).
+  {
+    std::vector<fl::RunResult> results;
+    for (double v : {0.1, 0.25, 0.5, 0.75}) {
+      core::HeliosConfig cfg;
+      results.push_back(
+          run_with("volume=" + util::Table::num(v, 2), cfg, v));
+    }
+    bench::print_accuracy_series(
+        std::cout, "Ablation: expected model volume (acceleration trade-off)",
+        results);
+    bench::print_convergence_summary(std::cout, results);
+  }
+
+  // 4. Static pruning vs rotating submodels at the same volume.
+  {
+    auto results = bench::run_methods(task, setup,
+                                      {"Static Prune", "Random", "Helios"},
+                                      std::cerr);
+    bench::print_accuracy_series(
+        std::cout,
+        "Ablation: permanent pruning vs rotating submodels (same volumes)",
+        results);
+  }
+  return 0;
+}

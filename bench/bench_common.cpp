@@ -1,0 +1,238 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/straggler_id.h"
+#include "core/target.h"
+#include "data/partition.h"
+#include "fl/afo.h"
+#include "fl/async.h"
+#include "fl/baselines.h"
+#include "fl/sync.h"
+
+namespace helios::bench {
+
+Scale scale_from_env() {
+  const char* env = std::getenv("HELIOS_BENCH_SCALE");
+  const std::string v = env ? env : "default";
+  if (v == "quick") return {"quick", 0.5, 0.5};
+  if (v == "full") return {"full", 2.0, 2.0};
+  return {"default", 1.0, 1.0};
+}
+
+namespace {
+int scaled(int base, double factor, int floor_value) {
+  return std::max(floor_value, static_cast<int>(std::lround(base * factor)));
+}
+}  // namespace
+
+TaskSpec lenet_task(const Scale& s) {
+  TaskSpec t;
+  t.name = "LeNet/MNIST-syn";
+  t.model = models::lenet_spec({1, 28, 28, 10});
+  t.data = data::mnist_like_spec(0);
+  t.data.noise = 0.9F;
+  t.data.deform = 0.6F;
+  t.samples_per_client = scaled(128, s.samples, 32);
+  t.test_samples = 512;
+  t.cycles = scaled(15, s.cycles, 8);
+  t.lr = 0.08F;
+  t.batch = 16;
+  return t;
+}
+
+TaskSpec alexnet_task(const Scale& s) {
+  TaskSpec t;
+  t.name = "AlexNet-lite/CIFAR10-syn";
+  t.model = models::alexnet_lite_spec({3, 32, 32, 10}, 8);
+  t.data = data::cifar10_like_spec(0);
+  t.data.noise = 0.8F;
+  t.data.deform = 0.5F;
+  t.samples_per_client = scaled(64, s.samples, 24);
+  t.test_samples = 400;
+  t.cycles = scaled(15, s.cycles, 8);
+  t.lr = 0.05F;
+  t.batch = 16;
+  return t;
+}
+
+TaskSpec resnet_task(const Scale& s) {
+  TaskSpec t;
+  t.name = "ResNet18-lite/CIFAR100-syn";
+  t.model = models::resnet18_lite_spec({3, 16, 16, 100}, 8, 1);
+  t.data = data::cifar100_like_spec(0);
+  t.data.prototype_grid = 6;  // 100 classes need more prototype DoF
+  t.data.noise = 0.9F;
+  t.data.deform = 0.3F;
+  t.samples_per_client = scaled(160, s.samples, 64);
+  t.test_samples = 400;
+  t.cycles = scaled(20, s.cycles, 10);
+  t.lr = 0.1F;
+  t.batch = 16;
+  return t;
+}
+
+fl::Fleet build_fleet(const TaskSpec& task, const FleetSetup& setup) {
+  if (setup.stragglers >= setup.devices) {
+    throw std::invalid_argument("build_fleet: need at least one capable device");
+  }
+  data::SyntheticSpec spec = task.data;
+  spec.samples = task.samples_per_client * setup.devices;
+  util::Rng rng(setup.seed);
+  data::Dataset train = data::make_synthetic(spec, rng);
+  spec.samples = task.test_samples;
+  data::Dataset test = data::make_synthetic(spec, rng);
+
+  fl::Fleet fleet(task.model, std::move(test), setup.seed);
+
+  const data::Partition parts =
+      setup.non_iid
+          ? data::partition_shards(train.labels,
+                                   static_cast<std::size_t>(setup.devices), 2,
+                                   rng)
+          : data::partition_iid(static_cast<std::size_t>(train.size()),
+                                static_cast<std::size_t>(setup.devices), rng);
+
+  const std::vector<device::ResourceProfile> capable_pool{
+      device::sim_scaled(device::edge_server()),
+      device::sim_scaled(device::jetson_nano_gpu())};
+  const std::vector<device::ResourceProfile> straggler_pool = [] {
+    std::vector<device::ResourceProfile> out;
+    for (const auto& p : device::table1_stragglers()) {
+      out.push_back(device::sim_scaled(p));
+    }
+    return out;
+  }();
+
+  const int capable = setup.devices - setup.stragglers;
+  for (int i = 0; i < setup.devices; ++i) {
+    fl::ClientConfig cfg;
+    cfg.seed = setup.seed + static_cast<std::uint64_t>(i) * 131;
+    cfg.lr = task.lr;
+    cfg.batch_size = task.batch;
+    const device::ResourceProfile profile =
+        i < capable
+            ? capable_pool[static_cast<std::size_t>(i) % capable_pool.size()]
+            : straggler_pool[static_cast<std::size_t>(i - capable) %
+                             straggler_pool.size()];
+    fleet.add_client(data::subset(train, parts[static_cast<std::size_t>(i)]),
+                     cfg, profile);
+  }
+
+  // Identification + optimization-target determination (Sec. IV).
+  const core::StragglerReport report =
+      core::StragglerIdentifier::resource_based(fleet, 2.0);
+  core::StragglerIdentifier::apply(fleet, report);
+  core::TargetDeterminer::assign_profiled(fleet, report, 0.05);
+  return fleet;
+}
+
+std::unique_ptr<fl::Strategy> make_strategy(const std::string& name) {
+  if (name == "Syn. FL") return std::make_unique<fl::SyncFL>();
+  if (name == "Asyn. FL") return std::make_unique<fl::AsyncFL>();
+  if (name == "Random") return std::make_unique<fl::RandomSubmodel>();
+  if (name == "AFO") return std::make_unique<fl::Afo>();
+  if (name == "Static Prune") return std::make_unique<fl::StaticPrune>();
+  if (name == "Helios") return std::make_unique<core::HeliosStrategy>();
+  if (name == "S.T. Only") {
+    core::HeliosConfig cfg;
+    cfg.hetero_aggregation = false;
+    return std::make_unique<core::HeliosStrategy>(cfg);
+  }
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::vector<fl::RunResult> run_methods(const TaskSpec& task,
+                                       const FleetSetup& setup,
+                                       const std::vector<std::string>& methods,
+                                       std::ostream& log) {
+  std::vector<fl::RunResult> results;
+  for (const std::string& method : methods) {
+    log << "  running " << method << " on " << task.name << " ("
+        << setup.devices << " devices, " << setup.stragglers
+        << " stragglers" << (setup.non_iid ? ", Non-IID" : "") << ")...\n"
+        << std::flush;
+    fl::Fleet fleet = build_fleet(task, setup);
+    results.push_back(make_strategy(method)->run(fleet, task.cycles));
+  }
+  return results;
+}
+
+void print_accuracy_series(std::ostream& os, const std::string& title,
+                           const std::vector<fl::RunResult>& results) {
+  util::print_banner(os, title);
+  std::vector<std::string> headers{"cycle"};
+  std::size_t max_rounds = 0;
+  for (const auto& r : results) {
+    headers.push_back(r.method);
+    max_rounds = std::max(max_rounds, r.rounds.size());
+  }
+  util::Table table(headers);
+  for (std::size_t c = 0; c < max_rounds; ++c) {
+    std::vector<std::string> row{std::to_string(c)};
+    for (const auto& r : results) {
+      row.push_back(c < r.rounds.size()
+                        ? util::Table::num(r.rounds[c].test_accuracy * 100.0, 2)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+
+  util::Table times({"method", "final acc (%)", "virtual time (s)"});
+  for (const auto& r : results) {
+    times.add_row({r.method, util::Table::num(r.final_accuracy() * 100.0, 2),
+                   util::Table::num(
+                       r.rounds.empty() ? 0.0 : r.rounds.back().virtual_time,
+                       3)});
+  }
+  os << '\n';
+  times.print(os);
+}
+
+void print_convergence_summary(std::ostream& os,
+                               const std::vector<fl::RunResult>& results) {
+  double best_final = 0.0;
+  for (const auto& r : results) best_final = std::max(best_final, r.final_accuracy());
+  const double target = 0.9 * best_final;
+
+  const fl::RunResult* sync = nullptr;
+  for (const auto& r : results) {
+    if (r.method == "Syn. FL") sync = &r;
+  }
+
+  os << "\nConvergence target: " << util::Table::num(target * 100.0, 2)
+     << "% (90% of best final accuracy)\n";
+  util::Table table({"method", "final acc (%)", "cycles to target",
+                     "vtime to target (s)", "speedup vs Syn. FL"});
+  for (const auto& r : results) {
+    const std::size_t cycles = r.cycles_to_accuracy(target);
+    const double t = r.time_to_accuracy(target);
+    std::string speedup = "-";
+    if (sync && sync->method != r.method) {
+      const double t_sync = sync->time_to_accuracy(target);
+      if (t_sync != fl::RunResult::never && t != fl::RunResult::never &&
+          t > 0.0) {
+        speedup = util::Table::num(t_sync / t, 2) + "x";
+      }
+    }
+    table.add_row({r.method, util::Table::num(r.final_accuracy() * 100.0, 2),
+                   cycles == fl::RunResult::npos ? "never"
+                                                 : std::to_string(cycles),
+                   t == fl::RunResult::never ? "never"
+                                             : util::Table::num(t, 3),
+                   speedup});
+  }
+  table.print(os);
+}
+
+const std::vector<std::string>& paper_methods() {
+  static const std::vector<std::string> methods{
+      "Syn. FL", "Asyn. FL", "Random", "AFO", "Helios"};
+  return methods;
+}
+
+}  // namespace helios::bench

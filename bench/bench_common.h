@@ -1,0 +1,87 @@
+// Shared experiment infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary reproduces one table or figure. Workload sizes are
+// scaled by HELIOS_BENCH_SCALE (quick | default | full) so the whole suite
+// runs on one CPU core in minutes while --full approaches paper-scale
+// cycle counts.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/helios_strategy.h"
+#include "data/synthetic.h"
+#include "fl/fleet.h"
+#include "fl/metrics.h"
+#include "fl/strategy.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+namespace helios::bench {
+
+struct Scale {
+  std::string name = "default";
+  /// Multiplier on per-client sample counts.
+  double samples = 1.0;
+  /// Multiplier on aggregation-cycle counts.
+  double cycles = 1.0;
+};
+
+/// Reads HELIOS_BENCH_SCALE (quick | default | full).
+Scale scale_from_env();
+
+/// One model/dataset pairing of the paper's evaluation.
+struct TaskSpec {
+  std::string name;           // "LeNet/MNIST-syn" etc.
+  models::ModelSpec model;
+  data::SyntheticSpec data;   // per-client sample count in samples_per_client
+  int samples_per_client = 128;
+  int test_samples = 512;
+  int cycles = 15;
+  float lr = 0.08F;
+  int batch = 16;
+};
+
+TaskSpec lenet_task(const Scale& s);
+TaskSpec alexnet_task(const Scale& s);
+TaskSpec resnet_task(const Scale& s);
+
+struct FleetSetup {
+  int devices = 4;
+  int stragglers = 2;
+  bool non_iid = false;
+  std::uint64_t seed = 7;
+};
+
+/// Builds a fleet per the paper's setup: capable devices first (EdgeServer /
+/// Nano-GPU profiles), then stragglers in Table I order, all sim-scaled.
+/// Runs resource-based identification and profiled target determination, so
+/// the returned fleet is ready for any strategy.
+fl::Fleet build_fleet(const TaskSpec& task, const FleetSetup& setup);
+
+/// Strategy factory: "Syn. FL", "Asyn. FL", "Random", "AFO", "Helios",
+/// "S.T. Only", "Static Prune".
+std::unique_ptr<fl::Strategy> make_strategy(const std::string& name);
+
+/// Runs each named method on a freshly built (identical) fleet.
+std::vector<fl::RunResult> run_methods(const TaskSpec& task,
+                                       const FleetSetup& setup,
+                                       const std::vector<std::string>& methods,
+                                       std::ostream& log);
+
+/// Figure-style output: one row per cycle, one accuracy column per method,
+/// plus per-method virtual time of the final cycle.
+void print_accuracy_series(std::ostream& os, const std::string& title,
+                           const std::vector<fl::RunResult>& results);
+
+/// Summary rows: final accuracy, cycles/time to the shared target accuracy
+/// (90% of the best final), and speedup relative to Syn. FL when present.
+void print_convergence_summary(std::ostream& os,
+                               const std::vector<fl::RunResult>& results);
+
+/// The default method set of Fig. 5 / Fig. 7.
+const std::vector<std::string>& paper_methods();
+
+}  // namespace helios::bench

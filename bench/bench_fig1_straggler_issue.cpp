@@ -1,0 +1,73 @@
+// Reproduces Fig. 1: the straggler issue in synchronous FL. The round time
+// of synchronous aggregation is the maximum per-device cycle time, so one
+// weak device stretches every cycle and idles the capable devices.
+//
+// Part 1 quantifies this analytically at paper scale (Table I profiles);
+// part 2 measures it on the simulated lite fleet by actually running two
+// SyncFL cycles with and without the straggler.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "device/cost_model.h"
+#include "fl/sync.h"
+
+int main() {
+  using namespace helios;
+  const bench::Scale scale = bench::scale_from_env();
+
+  util::print_banner(std::cout,
+                     "Fig. 1: The Straggler Issue in Original FL");
+
+  // Part 1 — paper-scale analytic: Nano(GPU) + Raspberry collaborate; the
+  // DeepLens(CPU) straggler joins and dictates the synchronous round.
+  {
+    std::vector<device::ResourceProfile> fleet{
+        device::jetson_nano_gpu(), device::raspberry_pi(),
+        device::deeplens_cpu()};
+    std::vector<double> minutes;
+    for (const auto& p : fleet) {
+      minutes.push_back(device::total_cycle_seconds(
+                            p, device::paper_alexnet_cycle_workload(
+                                   p.memory_mb)) /
+                        60.0);
+    }
+    util::Table table({"device", "cycle (Mins)", "idle waiting (%)"});
+    const double round_with = *std::max_element(minutes.begin(), minutes.end());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      table.add_row({fleet[i].name, util::Table::num(minutes[i], 1),
+                     util::Table::num(100.0 * (1.0 - minutes[i] / round_with),
+                                      1)});
+    }
+    table.print(std::cout);
+    const double round_without = std::max(minutes[0], minutes[1]);
+    std::cout << "\nSync round with straggler:    "
+              << util::Table::num(round_with, 1) << " min\n"
+              << "Sync round without straggler: "
+              << util::Table::num(round_without, 1) << " min\n"
+              << "Cycle inflation:              "
+              << util::Table::num(round_with / round_without, 2)
+              << "x (paper Fig. 1: 2.3 h -> 7.7 h, 3.3x)\n";
+  }
+
+  // Part 2 — simulated lite fleet, measured by running SyncFL.
+  {
+    const bench::TaskSpec task = bench::lenet_task(scale);
+    bench::FleetSetup with{4, 2, false, 7};
+    bench::FleetSetup without{2, 0, false, 7};
+    fl::Fleet f1 = bench::build_fleet(task, with);
+    fl::Fleet f2 = bench::build_fleet(task, without);
+    const auto r1 = fl::SyncFL().run(f1, 2);
+    const auto r2 = fl::SyncFL().run(f2, 2);
+    const double t1 = r1.rounds[0].virtual_time;
+    const double t2 = r2.rounds[0].virtual_time;
+    std::cout << "\nSimulated lite fleet (" << task.name << "):\n"
+              << "  sync round with stragglers:    " << util::Table::num(t1, 4)
+              << " s\n"
+              << "  sync round capable-only fleet: " << util::Table::num(t2, 4)
+              << " s\n"
+              << "  cycle inflation:               "
+              << util::Table::num(t1 / t2, 2) << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-kernel benchmarks (google-benchmark):
+//  * the Sec. V footnote claim — the per-cycle top-K contribution sort is
+//    negligible next to a training step (paper: ~18 ms vs ~12 min);
+//  * masked vs dense matmul (soft-training's compute saving);
+//  * conv forward, per-neuron aggregation, and cost-model evaluation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/soft_training.h"
+#include "data/loader.h"
+#include "device/cost_model.h"
+#include "fl/server.h"
+#include "fl/submodel.h"
+#include "nn/conv2d.h"
+#include "nn/sgd.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace helios;
+
+void BM_MatmulDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::matmul_masked_rows_into(a, b, {}, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulMaskedHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) mask[static_cast<std::size_t>(i)] = i % 2;
+  for (auto _ : state) {
+    tensor::matmul_masked_rows_into(a, b, mask, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);  // half the MACs
+}
+BENCHMARK(BM_MatmulMaskedHalf)->Arg(128)->Arg(256);
+
+void BM_LeNetTrainStep(benchmark::State& state) {
+  nn::Model model = models::make_lenet({1, 28, 28, 10}, 3);
+  nn::Sgd opt(0.05F);
+  util::Rng rng(4);
+  tensor::Tensor x = tensor::Tensor::randn({16, 1, 28, 28}, rng);
+  std::vector<int> labels(16);
+  for (auto& y : labels) y = static_cast<int>(rng.uniform_int(10));
+  for (auto _ : state) {
+    const auto r = nn::train_step(model, opt, x, labels);
+    benchmark::DoNotOptimize(r.loss);
+  }
+}
+BENCHMARK(BM_LeNetTrainStep);
+
+// The Sec. V footnote: per-cycle soft-training selection (contribution
+// update + per-layer top-K sort + random fill) vs the training cost above.
+void BM_SoftTrainingSelection(benchmark::State& state) {
+  nn::Model model = models::make_lenet({1, 28, 28, 10}, 5);
+  core::SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.3;
+  core::SoftTrainer trainer(model, cfg);
+  auto before = model.params_flat();
+  auto after = before;
+  util::Rng rng(6);
+  for (float& v : after) v += static_cast<float>(rng.normal()) * 0.01F;
+  for (auto _ : state) {
+    trainer.update_contributions(before, after, {});
+    auto mask = trainer.select_mask();
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_SoftTrainingSelection);
+
+void BM_ServerAggregate4Clients(benchmark::State& state) {
+  fl::Server server(models::make_lenet({1, 28, 28, 10}, 7));
+  util::Rng rng(8);
+  std::vector<fl::ClientUpdate> updates(4);
+  for (int i = 0; i < 4; ++i) {
+    updates[static_cast<std::size_t>(i)].client_id = i;
+    updates[static_cast<std::size_t>(i)].sample_count = 128;
+    updates[static_cast<std::size_t>(i)].params.resize(server.param_count());
+    for (float& v : updates[static_cast<std::size_t>(i)].params) {
+      v = static_cast<float>(rng.normal());
+    }
+    if (i >= 2) {
+      updates[static_cast<std::size_t>(i)].trained_mask =
+          fl::random_volume_mask(server.reference_model(), 0.3, rng);
+    }
+  }
+  fl::AggOptions opts;
+  opts.hetero_volume_weights = true;
+  for (auto _ : state) {
+    server.aggregate(updates, opts);
+    benchmark::DoNotOptimize(server.global().data());
+  }
+}
+BENCHMARK(BM_ServerAggregate4Clients);
+
+void BM_CostModelEvaluation(benchmark::State& state) {
+  nn::Model model = models::make_lenet({1, 28, 28, 10}, 9);
+  const auto profile = device::sim_scaled(device::deeplens_cpu());
+  for (auto _ : state) {
+    const auto w = device::estimate_workload(model, 128, 1);
+    benchmark::DoNotOptimize(device::total_cycle_seconds(profile, w));
+  }
+}
+BENCHMARK(BM_CostModelEvaluation);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(10);
+  nn::Conv2d conv(3, 32, 32, 8, 3, 1, 1, rng);
+  tensor::Tensor x = tensor::Tensor::randn({8, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    tensor::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  data::SyntheticSpec spec = data::mnist_like_spec(256);
+  for (auto _ : state) {
+    util::Rng rng(11);
+    data::Dataset d = data::make_synthetic(spec, rng);
+    benchmark::DoNotOptimize(d.images.data());
+  }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

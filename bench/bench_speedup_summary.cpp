@@ -1,0 +1,54 @@
+// Reproduces the Sec. VII-B convergence-speed comparison: aggregation
+// cycles and virtual time to convergence per method on 6-device fleets
+// (paper: Helios converges after 4 / 12 / 40 cycles on MNIST / CIFAR-10 /
+// CIFAR-100 where the baselines need >= 10 / 18 / 50; overall speedup up to
+// 2.5x versus the state of the art).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace helios;
+  const bench::Scale scale = bench::scale_from_env();
+  const std::vector<std::string> methods{"Syn. FL", "Asyn. FL", "AFO",
+                                         "Helios"};
+  const std::vector<bench::TaskSpec> tasks{bench::lenet_task(scale),
+                                           bench::alexnet_task(scale)};
+
+  util::print_banner(std::cout,
+                     "Sec. VII-B: Convergence-speed summary (6 devices, 3 "
+                     "stragglers)");
+  for (const auto& task : tasks) {
+    const bench::FleetSetup setup{6, 3, false, 11};
+    const auto results = bench::run_methods(task, setup, methods, std::cerr);
+    std::cout << "\n--- " << task.name << " ---\n";
+    bench::print_convergence_summary(std::cout, results);
+
+    // Max speedup of Helios over the other methods (time-to-target basis).
+    double best_final = 0.0;
+    for (const auto& r : results) {
+      best_final = std::max(best_final, r.final_accuracy());
+    }
+    const double target = 0.9 * best_final;
+    const fl::RunResult* helios = nullptr;
+    for (const auto& r : results) {
+      if (r.method == "Helios") helios = &r;
+    }
+    if (helios) {
+      const double t_helios = helios->time_to_accuracy(target);
+      double max_speedup = 0.0;
+      for (const auto& r : results) {
+        if (&r == helios) continue;
+        const double t = r.time_to_accuracy(target);
+        if (t != fl::RunResult::never && t_helios != fl::RunResult::never &&
+            t_helios > 0.0) {
+          max_speedup = std::max(max_speedup, t / t_helios);
+        }
+      }
+      std::cout << "Max Helios speedup on " << task.name << ": "
+                << util::Table::num(max_speedup, 2)
+                << "x (paper: up to 2.5x)\n";
+    }
+  }
+  return 0;
+}

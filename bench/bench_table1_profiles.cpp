@@ -1,0 +1,45 @@
+// Reproduces Table I: the four straggler presets' compute workload, memory
+// usage and per-cycle time cost for AlexNet/CIFAR-10, from the analytic
+// resource-based profiling model Te = W/C_cpu + M/V_mc + M/B_n (Sec. IV-B).
+#include <iostream>
+
+#include "bench_common.h"
+#include "device/cost_model.h"
+#include "device/resource.h"
+
+int main() {
+  using namespace helios;
+  util::print_banner(std::cout,
+                     "Table I: 4 Stragglers with Heterogeneous Resource "
+                     "(AlexNet/CIFAR-10, paper-scale workload)");
+
+  const double paper_minutes[4] = {20.6, 23.8, 27.2, 34.0};
+  util::Table table({"Constraints", "Comp. W (GFLOPS)", "Mem. U (MB)",
+                     "Tim. C (Mins)", "paper (Mins)", "error (%)"});
+  const auto stragglers = device::table1_stragglers();
+  for (std::size_t i = 0; i < stragglers.size(); ++i) {
+    const auto& p = stragglers[i];
+    const device::WorkloadEstimate w =
+        device::paper_alexnet_cycle_workload(p.memory_mb);
+    const double minutes = device::total_cycle_seconds(p, w) / 60.0;
+    table.add_row({p.name, util::Table::num(p.compute_gflops, 1),
+                   util::Table::num(p.memory_mb, 0),
+                   util::Table::num(minutes, 1),
+                   util::Table::num(paper_minutes[i], 1),
+                   util::Table::num(
+                       100.0 * (minutes - paper_minutes[i]) / paper_minutes[i],
+                       1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCapable reference devices (same cost model):\n";
+  util::Table cap({"device", "Comp. W (GFLOPS)", "Tim. C (Mins)"});
+  for (const auto& p : {device::jetson_nano_gpu(), device::edge_server()}) {
+    const device::WorkloadEstimate w =
+        device::paper_alexnet_cycle_workload(p.memory_mb);
+    cap.add_row({p.name, util::Table::num(p.compute_gflops, 1),
+                 util::Table::num(device::total_cycle_seconds(p, w) / 60.0, 1)});
+  }
+  cap.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Non-IID collaboration scenario: why stragglers must not be dropped.
+//
+// The training data is split by label shards (each client sees ~2 of 10
+// classes), and the classes held by the straggling devices exist nowhere
+// else. Asynchronous FL, which stales or sidelines the stragglers, loses
+// exactly those classes; Helios keeps them synchronized through shrunken
+// soft-training submodels and retains their information.
+//
+//   $ ./noniid_collaboration
+#include <iostream>
+
+#include "core/helios_strategy.h"
+#include "core/straggler_id.h"
+#include "core/target.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/async.h"
+#include "fl/sync.h"
+#include "util/table.h"
+
+int main() {
+  using namespace helios;
+
+  data::SyntheticSpec spec = data::mnist_like_spec(/*samples=*/512);
+  spec.noise = 0.9F;
+  util::Rng rng(31);
+  data::Dataset train = data::make_synthetic(spec, rng);
+  spec.samples = 400;
+  data::Dataset test = data::make_synthetic(spec, rng);
+
+  util::Rng part_rng(32);
+  const data::Partition parts =
+      data::partition_shards(train.labels, 4, /*shards_per_client=*/2,
+                             part_rng);
+
+  auto build_fleet = [&] {
+    fl::Fleet fleet(models::lenet_spec(), test, 31);
+    const device::ResourceProfile profiles[4] = {
+        device::sim_scaled(device::edge_server()),
+        device::sim_scaled(device::jetson_nano_gpu()),
+        device::sim_scaled(device::deeplens_gpu()),
+        device::sim_scaled(device::deeplens_cpu())};
+    for (int i = 0; i < 4; ++i) {
+      fl::ClientConfig cfg;
+      cfg.seed = 300 + static_cast<std::uint64_t>(i);
+      cfg.lr = 0.08F;
+      cfg.batch_size = 16;
+      fleet.add_client(data::subset(train, parts[static_cast<std::size_t>(i)]),
+                       cfg, profiles[i]);
+    }
+    const auto report = core::StragglerIdentifier::resource_based(fleet, 2.0);
+    core::StragglerIdentifier::apply(fleet, report);
+    core::TargetDeterminer::assign_profiled(fleet, report);
+    return fleet;
+  };
+
+  // Show the label skew: which classes live on the stragglers.
+  {
+    fl::Fleet fleet = build_fleet();
+    util::Table table({"client", "device", "role", "classes held"});
+    for (auto& c : fleet.clients()) {
+      std::string classes;
+      const auto hist = data::class_histogram(c->dataset());
+      for (std::size_t y = 0; y < hist.size(); ++y) {
+        if (hist[y] > 0) classes += (classes.empty() ? "" : " ") +
+                                    std::to_string(y);
+      }
+      table.add_row({std::to_string(c->id()), c->profile().name,
+                     c->is_straggler() ? "straggler" : "capable", classes});
+    }
+    std::cout << "Non-IID shard split (2 shards/client):\n";
+    table.print(std::cout);
+  }
+
+  const int cycles = 15;
+  struct Entry {
+    std::string label;
+    fl::RunResult result;
+  };
+  std::vector<Entry> entries;
+  {
+    fl::Fleet fleet = build_fleet();
+    entries.push_back({"Syn. FL", fl::SyncFL().run(fleet, cycles)});
+  }
+  {
+    fl::Fleet fleet = build_fleet();
+    entries.push_back({"Asyn. FL", fl::AsyncFL().run(fleet, cycles)});
+  }
+  {
+    fl::Fleet fleet = build_fleet();
+    entries.push_back({"Helios", core::HeliosStrategy().run(fleet, cycles)});
+  }
+
+  util::Table table({"method", "final acc (%)", "virtual time (s)"});
+  for (const auto& e : entries) {
+    table.add_row({e.label,
+                   util::Table::num(e.result.final_accuracy() * 100, 2),
+                   util::Table::num(e.result.rounds.back().virtual_time, 3)});
+  }
+  std::cout << "\nAfter " << cycles << " cycles on the Non-IID split:\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: Asyn. FL trails because the stragglers'\n"
+               "unique classes go stale; Helios matches Syn. FL accuracy at\n"
+               "a fraction of its virtual time.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::core {
+
+std::vector<double> selection_probabilities(std::span<const double> magnitudes,
+                                            double budget) {
+  const std::size_t n = magnitudes.size();
+  if (n == 0) throw std::invalid_argument("selection_probabilities: empty");
+  if (budget <= 0.0 || budget > static_cast<double>(n)) {
+    throw std::invalid_argument("selection_probabilities: bad budget");
+  }
+  for (double g : magnitudes) {
+    if (g < 0.0) {
+      throw std::invalid_argument("selection_probabilities: negative magnitude");
+    }
+  }
+  // Solve sum(min(1, lambda * g_i)) = budget for lambda by bisection over
+  // the sorted magnitudes: as lambda grows, more entries saturate at 1.
+  std::vector<double> sorted(magnitudes.begin(), magnitudes.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  auto mass = [&](double lambda) {
+    double s = 0.0;
+    for (double g : sorted) s += std::min(1.0, lambda * g);
+    return s;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (mass(hi) < budget && hi < 1e18) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) < budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = hi;
+  std::vector<double> p(n);
+  const double floor_p = std::min(1.0, budget / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::max(floor_p * 1e-3,
+                    std::min(1.0, lambda * magnitudes[i]));
+  }
+  return p;
+}
+
+double variance_inflation(std::span<const double> magnitudes,
+                          std::span<const double> probabilities) {
+  if (magnitudes.size() != probabilities.size()) {
+    throw std::invalid_argument("variance_inflation: size mismatch");
+  }
+  double dense = 0.0, sparse = 0.0;
+  for (std::size_t i = 0; i < magnitudes.size(); ++i) {
+    const double g2 = magnitudes[i] * magnitudes[i];
+    dense += g2;
+    if (g2 > 0.0) {
+      if (probabilities[i] <= 0.0) {
+        throw std::invalid_argument(
+            "variance_inflation: zero probability on a live gradient");
+      }
+      sparse += g2 / probabilities[i];
+    }
+  }
+  if (dense == 0.0) return 1.0;
+  return sparse / dense;
+}
+
+double expected_l0(std::span<const double> probabilities) {
+  double s = 0.0;
+  for (double p : probabilities) s += p;
+  return s;
+}
+
+int count_certain(std::span<const double> probabilities) {
+  int v = 0;
+  for (double p : probabilities) v += (p >= 1.0);
+  return v;
+}
+
+double l0_bound(int v, double rho) {
+  if (v < 0 || rho < 0.0) throw std::invalid_argument("l0_bound: bad args");
+  return (1.0 + rho) * v;
+}
+
+}  // namespace helios::core

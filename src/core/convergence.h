@@ -1,0 +1,45 @@
+// Convergence analysis of soft-training (paper Sec. V-B, following Wangni
+// et al. [19]).
+//
+// Soft-training trains neuron i with probability p_i and (conceptually)
+// scales its gradient by 1/p_i for unbiasedness (Eq. 5). The resulting
+// gradient variance is sum(g_i^2 / p_i) (Eq. 6); keeping it within
+// (1 + eps) * sum(g_i^2) while minimizing the expected number of trained
+// neurons sum(p_i) (Eq. 7) yields the optimal probabilities
+//     p_i = min(1, lambda * |g_i|)
+// with lambda chosen to meet the budget — the highest-contribution neurons
+// get p_i = 1 (the paper's top-P_s picks) and the expected L0 is bounded by
+// (1 + rho) * v (Eq. 9). These utilities make that analysis executable and
+// testable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace helios::core {
+
+/// Optimal selection probabilities p_i = min(1, lambda * |g_i|) such that
+/// sum(p_i) ~= budget (Wangni et al.'s gradient sparsification). Requires
+/// 0 < budget <= g.size(); zero-magnitude entries get probability
+/// budget / n as a floor (no neuron may be inactive forever — Sec. VI-A).
+std::vector<double> selection_probabilities(std::span<const double> magnitudes,
+                                            double budget);
+
+/// Variance of the sparsified gradient relative to the dense one:
+/// sum(g_i^2 / p_i) / sum(g_i^2) (Eq. 6 normalized). 1.0 means no inflation
+/// (all p_i = 1); the convergence condition is inflation <= 1 + eps.
+double variance_inflation(std::span<const double> magnitudes,
+                          std::span<const double> probabilities);
+
+/// Expected number of trained neurons, sum(p_i) (the left side of Eq. 9).
+double expected_l0(std::span<const double> probabilities);
+
+/// Number of neurons with p_i == 1 (the paper's v — the top-contribution
+/// set C_v that provides the primary convergence guarantee).
+int count_certain(std::span<const double> probabilities);
+
+/// Eq. 9's bound: with v certain neurons and variance slack rho, the
+/// expected L0 of the sparsified gradient is at most (1 + rho) * v.
+double l0_bound(int v, double rho);
+
+}  // namespace helios::core

@@ -1,0 +1,127 @@
+#include "core/helios_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace helios::core {
+
+HeliosStrategy::HeliosStrategy(HeliosConfig config) : config_(config) {}
+
+std::string HeliosStrategy::name() const {
+  return config_.hetero_aggregation ? "Helios" : "S.T. Only";
+}
+
+void HeliosStrategy::set_cycle_hook(
+    std::function<void(fl::Fleet&, int)> hook) {
+  cycle_hook_ = std::move(hook);
+}
+
+HeliosStrategy::StragglerState& HeliosStrategy::state_for(fl::Client& client) {
+  auto it = state_.find(client.id());
+  if (it == state_.end()) {
+    StragglerState st;
+    SoftTrainerConfig cfg;
+    cfg.keep_ratio = client.volume();
+    cfg.ps = config_.ps;
+    cfg.seed = config_.seed + static_cast<std::uint64_t>(client.id()) * 7919;
+    st.trainer = std::make_unique<SoftTrainer>(client.model(), cfg);
+    st.regulator = std::make_unique<RotationRegulator>(
+        client.model().neuron_total(), st.trainer->budget_total());
+    it = state_.emplace(client.id(), std::move(st)).first;
+  }
+  return it->second;
+}
+
+fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
+  fl::RunResult result;
+  result.method = name();
+  fl::AggOptions opts;
+  opts.hetero_volume_weights = config_.hetero_aggregation;
+  opts.per_neuron_merge = config_.hetero_aggregation;
+  opts.alpha_damping = config_.alpha_damping;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    if (cycle_hook_) cycle_hook_(fleet, cycle);
+
+    // Phase 1: choose each straggler's submodel for this cycle.
+    struct Planned {
+      fl::Client* client;
+      std::vector<std::uint8_t> mask;  // empty = full model
+    };
+    std::vector<Planned> plan;
+    plan.reserve(fleet.size());
+    for (auto& client : fleet.clients()) {
+      Planned p{client.get(), {}};
+      if (client->is_straggler() && client->volume() < 1.0) {
+        StragglerState& st = state_for(*client);
+        std::vector<int> forced;
+        if (config_.rotation_regulation) forced = st.regulator->overdue();
+        p.mask = st.trainer->select_mask(forced);
+      }
+      plan.push_back(std::move(p));
+    }
+
+    // Phase 2: local training (synchronous round; virtual times from the
+    // cost model, round length = slowest participant).
+    const std::vector<float> global_before(fleet.server().global());
+    const std::vector<float> buffers_before(fleet.server().global_buffers());
+    std::vector<fl::ClientUpdate> updates;
+    updates.reserve(plan.size());
+    double round_seconds = 0.0;
+    double capable_pace = 0.0;
+    double loss = 0.0;
+    double upload = 0.0;
+    for (Planned& p : plan) {
+      updates.push_back(
+          p.client->run_cycle(global_before, buffers_before, p.mask));
+      const double cycle_seconds =
+          updates.back().train_seconds + updates.back().upload_seconds;
+      round_seconds = std::max(round_seconds, cycle_seconds);
+      if (!p.client->is_straggler()) {
+        capable_pace = std::max(capable_pace, cycle_seconds);
+      }
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+    }
+    fleet.clock().advance(round_seconds);
+
+    // Phase 3: contribution updates + rotation bookkeeping + aggregation.
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].mask.empty()) continue;
+      StragglerState& st = state_for(*plan[i].client);
+      st.trainer->update_contributions(global_before, updates[i].params,
+                                       plan[i].mask);
+      st.regulator->record_cycle(plan[i].mask);
+    }
+    fleet.server().aggregate(updates, opts);
+
+    // Phase 4: pace adaptation during the first cycles (Sec. V-A Step 1 —
+    // "Helios needs first few training cycles to finalize the stragglers
+    // and model volumes").
+    if (cycle < config_.pace_adaptation_cycles && capable_pace > 0.0) {
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        fl::Client& c = *plan[i].client;
+        if (plan[i].mask.empty()) continue;
+        const double t =
+            updates[i].train_seconds + updates[i].upload_seconds;
+        const double ratio = t / capable_pace;
+        // Outside a 10% band, rescale the volume toward the pace.
+        if (ratio > 1.1 || ratio < 0.9) {
+          const double next = std::clamp(c.volume() / ratio,
+                                         config_.min_volume, 1.0);
+          c.set_volume(next);
+          StragglerState& st = state_for(c);
+          st.trainer->set_keep_ratio(next);
+          st.regulator->set_budget_total(st.trainer->budget_total());
+        }
+      }
+    }
+
+    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
+                             loss / static_cast<double>(plan.size()),
+                             upload});
+  }
+  return result;
+}
+
+}  // namespace helios::core

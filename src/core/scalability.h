@@ -1,0 +1,43 @@
+// Collaboration-scalability optimization (paper Sec. VI-C): admitting
+// devices that join mid-collaboration.
+//
+// A joining device is identified against the current collaboration pace —
+// by resource profiling when a profiling budget is available, otherwise by
+// the time-based test bench — and, if it would straggle, receives an
+// expected model volume before its first cycle.
+#pragma once
+
+#include "core/straggler_id.h"
+#include "core/target.h"
+#include "fl/fleet.h"
+
+namespace helios::core {
+
+struct AdmissionResult {
+  int client_id = -1;
+  bool straggler = false;
+  double volume = 1.0;
+  double estimated_cycle_seconds = 0.0;
+  double pace_seconds = 0.0;
+};
+
+class ScalabilityManager {
+ public:
+  /// `use_profiling` selects resource-based profiling (white box) over the
+  /// time-based test bench (black box) for the admission decision.
+  explicit ScalabilityManager(bool use_profiling = true,
+                              double pace_factor = 1.5,
+                              double min_volume = 0.05);
+
+  /// Admits the already-added client `client_id` of `fleet`: estimates its
+  /// cycle time, compares with the pace of the existing capable devices,
+  /// flags it and assigns a volume if it straggles.
+  AdmissionResult admit(fl::Fleet& fleet, int client_id);
+
+ private:
+  bool use_profiling_;
+  double pace_factor_;
+  double min_volume_;
+};
+
+}  // namespace helios::core

@@ -1,0 +1,126 @@
+#include "core/soft_training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace helios::core {
+
+SoftTrainer::SoftTrainer(nn::Model& model, SoftTrainerConfig config)
+    : config_(config),
+      ranges_(fl::layer_ranges(model)),
+      neurons_(model.neurons()),
+      u_(static_cast<std::size_t>(model.neuron_total()), 0.0),
+      rng_(config.seed) {
+  if (config_.keep_ratio <= 0.0 || config_.keep_ratio > 1.0) {
+    throw std::invalid_argument("SoftTrainer: keep_ratio out of (0, 1]");
+  }
+  if (config_.ps <= 0.0 || config_.ps > 1.0) {
+    throw std::invalid_argument("SoftTrainer: ps out of (0, 1]");
+  }
+}
+
+void SoftTrainer::set_keep_ratio(double p) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("SoftTrainer: keep_ratio out of (0, 1]");
+  }
+  config_.keep_ratio = p;
+}
+
+int SoftTrainer::budget_total() const {
+  const auto budgets = fl::layer_budgets(ranges_, config_.keep_ratio);
+  return std::accumulate(budgets.begin(), budgets.end(), 0);
+}
+
+std::vector<std::uint8_t> SoftTrainer::select_mask(
+    std::span<const int> forced) {
+  std::vector<std::uint8_t> mask(u_.size(), 0);
+  const auto budgets = fl::layer_budgets(ranges_, config_.keep_ratio);
+
+  // Mark forced neurons first (rotation regulation, Sec. VI-A).
+  std::vector<std::uint8_t> is_forced(u_.size(), 0);
+  for (int id : forced) {
+    if (id < 0 || static_cast<std::size_t>(id) >= u_.size()) {
+      throw std::out_of_range("SoftTrainer: forced neuron out of range");
+    }
+    is_forced[static_cast<std::size_t>(id)] = 1;
+    mask[static_cast<std::size_t>(id)] = 1;
+  }
+
+  for (std::size_t r = 0; r < ranges_.size(); ++r) {
+    const int begin = ranges_[r].begin;
+    const int count = ranges_[r].count;
+    const int budget = budgets[r];
+    int chosen = 0;
+    for (int j = 0; j < count; ++j) chosen += mask[static_cast<std::size_t>(begin + j)];
+
+    // Top-U picks: ceil(ps * budget), at least 1 (Eq. 2's K = Ps*Pi*ni).
+    const int top_quota = std::min(
+        budget, std::max(1, static_cast<int>(std::ceil(config_.ps * budget))));
+    std::vector<int> order(static_cast<std::size_t>(count));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return u_[static_cast<std::size_t>(begin + a)] >
+             u_[static_cast<std::size_t>(begin + b)];
+    });
+    int top_taken = 0;
+    for (int j : order) {
+      if (chosen >= budget || top_taken >= top_quota) break;
+      auto& bit = mask[static_cast<std::size_t>(begin + j)];
+      if (bit) {
+        // Already forced in; still counts toward the top quota if it is a
+        // top-U neuron.
+        ++top_taken;
+        continue;
+      }
+      bit = 1;
+      ++chosen;
+      ++top_taken;
+    }
+
+    // Random fill from the remaining (lower-contribution) neurons.
+    std::vector<int> rest;
+    rest.reserve(static_cast<std::size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      if (!mask[static_cast<std::size_t>(begin + j)]) rest.push_back(j);
+    }
+    while (chosen < budget && !rest.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(rest.size())));
+      mask[static_cast<std::size_t>(begin + rest[pick])] = 1;
+      rest[pick] = rest.back();
+      rest.pop_back();
+      ++chosen;
+    }
+  }
+  return mask;
+}
+
+void SoftTrainer::update_contributions(
+    std::span<const float> before, std::span<const float> after,
+    std::span<const std::uint8_t> trained_mask) {
+  if (before.size() != after.size()) {
+    throw std::invalid_argument("update_contributions: size mismatch");
+  }
+  if (!trained_mask.empty() && trained_mask.size() != u_.size()) {
+    throw std::invalid_argument("update_contributions: bad mask size");
+  }
+  for (std::size_t j = 0; j < neurons_.size(); ++j) {
+    if (!trained_mask.empty() && !trained_mask[j]) continue;
+    double change = 0.0;
+    std::size_t params = 0;
+    for (const nn::FlatSlice& s : neurons_[j].slices) {
+      if (s.offset + s.length > before.size()) {
+        throw std::out_of_range("update_contributions: slice out of range");
+      }
+      for (std::size_t f = s.offset; f < s.offset + s.length; ++f) {
+        change += std::fabs(static_cast<double>(after[f]) - before[f]);
+      }
+      params += s.length;
+    }
+    u_[j] = params > 0 ? change / static_cast<double>(params) : 0.0;
+  }
+}
+
+}  // namespace helios::core

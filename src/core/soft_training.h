@@ -1,0 +1,69 @@
+// Soft-training neuron selection (paper Sec. V).
+//
+// Per straggler, per cycle, the submodel is the union of
+//   * the top P_s fraction of the layer budget by collaboration
+//     contribution U^ij — the neurons whose parameters changed most in the
+//     cycles they last trained (Eq. 1, primary convergence guarantee), and
+//   * a uniformly random draw from the remaining neurons (Eq. 2, rotation
+//     for model integrity),
+// with any rotation-regulation "overdue" neurons force-included first
+// (Sec. VI-A), keeping every selection probability p_i > 0 as the
+// convergence proof (Proposition 2) requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fl/submodel.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace helios::core {
+
+struct SoftTrainerConfig {
+  /// Expected model volume P (keep ratio per layer).
+  double keep_ratio = 0.5;
+  /// P_s — fraction of the kept budget reserved for top-contribution
+  /// neurons; the paper recommends 0.05-0.1 of the full layer (we apply it
+  /// to the kept budget, clamped to at least one neuron).
+  double ps = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class SoftTrainer {
+ public:
+  /// `model` provides the neuron geometry (layer ranges, slices); the
+  /// trainer keeps per-neuron contribution state across cycles.
+  SoftTrainer(nn::Model& model, SoftTrainerConfig config);
+
+  /// Chooses the next cycle's submodel mask. `forced` lists global neuron
+  /// ids that must be included (rotation regulation); they count against the
+  /// layer budget but may overflow it if the regulator demands more than
+  /// the budget allows.
+  std::vector<std::uint8_t> select_mask(std::span<const int> forced = {});
+
+  /// Updates contributions after a cycle: U_j <- mean |after - before| over
+  /// neuron j's parameters, for the neurons that trained (others retain
+  /// their previous U).
+  void update_contributions(std::span<const float> before,
+                            std::span<const float> after,
+                            std::span<const std::uint8_t> trained_mask);
+
+  const std::vector<double>& contributions() const { return u_; }
+  double keep_ratio() const { return config_.keep_ratio; }
+  /// Pace adaptation can adjust the volume between cycles.
+  void set_keep_ratio(double p);
+  int neuron_total() const { return static_cast<int>(u_.size()); }
+  /// Total per-cycle budget sum(P_i n_i) at the current volume.
+  int budget_total() const;
+
+ private:
+  SoftTrainerConfig config_;
+  std::vector<fl::LayerNeuronRange> ranges_;
+  std::vector<nn::NeuronInfo> neurons_;  // copies of slice info
+  std::vector<double> u_;                // U^ij per global neuron
+  util::Rng rng_;
+};
+
+}  // namespace helios::core

@@ -1,0 +1,49 @@
+// Potential-straggler identification (paper Sec. IV-B).
+//
+// Two approaches for two deployment contexts:
+//  * time-based approximation (black box): run a lightweight test bench on
+//    every device, rank by measured time, flag the slowest;
+//  * resource-based profiling (white box): evaluate the analytic cost model
+//    Te = W/C_cpu + M/V_mc + M/B_n on each device's resource profile and
+//    flag devices whose full-cycle time exceeds the collaboration pace.
+#pragma once
+
+#include <vector>
+
+#include "fl/fleet.h"
+
+namespace helios::core {
+
+struct DeviceTiming {
+  int client_id = -1;
+  double seconds = 0.0;  // test-bench or profiled full-cycle time
+  bool straggler = false;
+};
+
+struct StragglerReport {
+  /// Sorted slowest-first (the paper's index T, T_1 = longest).
+  std::vector<DeviceTiming> timings;
+  /// The pace the collaboration would run at without the stragglers
+  /// (max full-cycle time among non-stragglers).
+  double pace_seconds = 0.0;
+
+  std::vector<int> straggler_ids() const;
+};
+
+class StragglerIdentifier {
+ public:
+  /// Black box: rank clients by the virtual cost of `testbench_iterations`
+  /// mini-batches and flag the `top_k` slowest as potential stragglers.
+  static StragglerReport time_based(fl::Fleet& fleet, int top_k,
+                                    int testbench_iterations = 5);
+
+  /// White box: profile each client's full local cycle with the cost model
+  /// and flag every device slower than `pace_factor` x the fastest device.
+  static StragglerReport resource_based(fl::Fleet& fleet,
+                                        double pace_factor = 1.5);
+
+  /// Writes the report's straggler flags onto the fleet's clients.
+  static void apply(fl::Fleet& fleet, const StragglerReport& report);
+};
+
+}  // namespace helios::core

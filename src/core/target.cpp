@@ -1,0 +1,111 @@
+#include "core/target.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "device/cost_model.h"
+#include "fl/submodel.h"
+
+namespace helios::core {
+
+const std::vector<double>& TargetDeterminer::default_levels() {
+  static const std::vector<double> levels{0.5, 0.35, 0.25, 0.2};
+  return levels;
+}
+
+void TargetDeterminer::assign_predefined(fl::Fleet& fleet,
+                                         const StragglerReport& report,
+                                         const std::vector<double>& levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("assign_predefined: no levels");
+  }
+  // report.timings is slowest-first; the slowest straggler gets the
+  // smallest feasible level ordering: levels are listed strongest-straggler
+  // -volume first, so walk stragglers slowest-first through the levels from
+  // the back.
+  std::vector<int> straggler_order;  // slowest first
+  for (const auto& t : report.timings) {
+    if (t.straggler) straggler_order.push_back(t.client_id);
+  }
+  for (std::size_t rank = 0; rank < straggler_order.size(); ++rank) {
+    // Slowest straggler -> most aggressive (last) level.
+    const std::size_t level_idx =
+        levels.size() - 1 -
+        std::min(rank, levels.size() - 1);
+    for (auto& c : fleet.clients()) {
+      if (c->id() == straggler_order[rank]) {
+        c->set_volume(levels[level_idx]);
+      }
+    }
+  }
+}
+
+double TargetDeterminer::cycle_seconds_at_volume(fl::Client& client,
+                                                 double volume) {
+  if (volume >= 1.0) return client.estimate_cycle_seconds({});
+  // FLOP and upload accounting depend only on how many neurons per layer are
+  // active, not which; take the first k_i of each layer deterministically.
+  nn::Model& model = client.model();
+  const auto ranges = fl::layer_ranges(model);
+  const auto budgets = fl::layer_budgets(ranges, volume);
+  std::vector<std::uint8_t> mask(
+      static_cast<std::size_t>(model.neuron_total()), 0);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (int j = 0; j < budgets[i]; ++j) {
+      mask[static_cast<std::size_t>(ranges[i].begin + j)] = 1;
+    }
+  }
+  return client.estimate_cycle_seconds(mask);
+}
+
+double TargetDeterminer::profile_volume(fl::Client& client,
+                                        double pace_seconds,
+                                        double min_volume) {
+  if (min_volume <= 0.0 || min_volume > 1.0) {
+    throw std::invalid_argument("profile_volume: bad min_volume");
+  }
+  if (pace_seconds <= 0.0) {
+    throw std::invalid_argument("profile_volume: non-positive pace");
+  }
+  // Binary-search the largest feasible volume; cost is monotone in P.
+  double lo = min_volume, hi = 1.0;
+  if (cycle_seconds_at_volume(client, lo) > pace_seconds) {
+    return min_volume;  // even the smallest volume misses the pace
+  }
+  for (int iter = 0; iter < 20; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cycle_seconds_at_volume(client, mid) <= pace_seconds) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Memory constraint: shrink further while the peak footprint overflows.
+  double chosen = lo;
+  while (chosen > min_volume &&
+         device::peak_memory_mb(client.model(), client.config().batch_size) *
+                 chosen >
+             client.profile().memory_mb) {
+    chosen = std::max(min_volume, chosen - 0.05);
+  }
+  return chosen;
+}
+
+std::vector<double> TargetDeterminer::assign_profiled(
+    fl::Fleet& fleet, const StragglerReport& report, double min_volume) {
+  if (report.pace_seconds <= 0.0) {
+    throw std::invalid_argument("assign_profiled: report has no pace");
+  }
+  std::vector<double> volumes(fleet.size(), 1.0);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    fl::Client& c = fleet.client(i);
+    if (!c.is_straggler()) continue;
+    const double chosen =
+        profile_volume(c, report.pace_seconds, min_volume);
+    c.set_volume(chosen);
+    volumes[i] = chosen;
+  }
+  return volumes;
+}
+
+}  // namespace helios::core

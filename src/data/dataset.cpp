@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace helios::data {
+
+void Dataset::validate() const {
+  if (images.ndim() != 4) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W]");
+  }
+  if (static_cast<int>(labels.size()) != images.dim(0)) {
+    throw std::invalid_argument("Dataset: label count mismatch");
+  }
+  if (num_classes <= 0) throw std::invalid_argument("Dataset: no classes");
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      throw std::out_of_range("Dataset: label out of range");
+    }
+  }
+}
+
+Dataset subset(const Dataset& src, std::span<const std::size_t> indices) {
+  const std::size_t sample =
+      static_cast<std::size_t>(src.channels()) * src.height() * src.width();
+  Dataset out;
+  out.num_classes = src.num_classes;
+  out.images = Tensor({static_cast<int>(indices.size()), src.channels(),
+                       src.height(), src.width()});
+  out.labels.reserve(indices.size());
+  float* dst = out.images.data();
+  const float* base = src.images.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    if (idx >= static_cast<std::size_t>(src.size())) {
+      throw std::out_of_range("subset: index out of range");
+    }
+    std::copy_n(base + idx * sample, sample, dst + i * sample);
+    out.labels.push_back(src.labels[idx]);
+  }
+  return out;
+}
+
+std::vector<int> class_histogram(const Dataset& d) {
+  std::vector<int> hist(static_cast<std::size_t>(d.num_classes), 0);
+  for (int y : d.labels) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+}  // namespace helios::data

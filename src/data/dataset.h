@@ -1,0 +1,34 @@
+// In-memory labeled image dataset ([N, C, H, W] + class labels).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace helios::data {
+
+using tensor::Tensor;
+
+/// Value-type dataset; cheap to subset by index list.
+struct Dataset {
+  Tensor images;            // [N, C, H, W]
+  std::vector<int> labels;  // length N, values in [0, num_classes)
+  int num_classes = 0;
+
+  int size() const { return images.empty() ? 0 : images.dim(0); }
+  int channels() const { return images.dim(1); }
+  int height() const { return images.dim(2); }
+  int width() const { return images.dim(3); }
+
+  /// Throws if shapes/labels are inconsistent.
+  void validate() const;
+};
+
+/// New dataset containing `indices` of `src`, in the given order.
+Dataset subset(const Dataset& src, std::span<const std::size_t> indices);
+
+/// Per-class sample counts (length num_classes).
+std::vector<int> class_histogram(const Dataset& d);
+
+}  // namespace helios::data

@@ -1,0 +1,143 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace helios::data {
+
+Partition partition_iid(std::size_t n_samples, std::size_t n_clients,
+                        util::Rng& rng) {
+  if (n_clients == 0) throw std::invalid_argument("partition_iid: no clients");
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+  Partition out(n_clients);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out[i % n_clients].push_back(order[i]);
+  }
+  return out;
+}
+
+Partition partition_shards(std::span<const int> labels,
+                           std::size_t n_clients,
+                           std::size_t shards_per_client, util::Rng& rng) {
+  if (n_clients == 0 || shards_per_client == 0) {
+    throw std::invalid_argument("partition_shards: bad arity");
+  }
+  const std::size_t n = labels.size();
+  const std::size_t n_shards = n_clients * shards_per_client;
+  if (n < n_shards) {
+    throw std::invalid_argument("partition_shards: fewer samples than shards");
+  }
+  // Stable sort by label keeps determinism independent of input order noise.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return labels[a] < labels[b];
+  });
+  // Deal shard ids randomly to clients.
+  std::vector<std::size_t> shard_ids(n_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(shard_ids));
+  const std::size_t shard_size = n / n_shards;
+  Partition out(n_clients);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::size_t client = s / shards_per_client;
+    const std::size_t shard = shard_ids[s];
+    const std::size_t begin = shard * shard_size;
+    // Last shard absorbs the divisibility remainder.
+    const std::size_t end = (shard + 1 == n_shards) ? n : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) {
+      out[client].push_back(order[i]);
+    }
+  }
+  return out;
+}
+
+Partition partition_dirichlet(std::span<const int> labels,
+                              std::size_t n_clients, int num_classes,
+                              double beta, util::Rng& rng) {
+  if (n_clients == 0 || num_classes <= 0 || beta <= 0.0) {
+    throw std::invalid_argument("partition_dirichlet: bad arguments");
+  }
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || y >= num_classes) {
+      throw std::out_of_range("partition_dirichlet: label out of range");
+    }
+    by_class[static_cast<std::size_t>(y)].push_back(i);
+  }
+  Partition out(n_clients);
+  // Dirichlet via normalized Gamma(beta, 1) draws; Gamma sampled with the
+  // Marsaglia-Tsang method (with the alpha<1 boost).
+  auto gamma_draw = [&rng](double alpha) {
+    double boost = 1.0;
+    if (alpha < 1.0) {
+      boost = std::pow(rng.uniform() + 1e-12, 1.0 / alpha);
+      alpha += 1.0;
+    }
+    const double d = alpha - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = rng.normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (std::log(u + 1e-300) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return boost * d * v;
+      }
+    }
+  };
+  for (auto& members : by_class) {
+    if (members.empty()) continue;
+    rng.shuffle(std::span<std::size_t>(members));
+    std::vector<double> props(n_clients);
+    double total = 0.0;
+    for (double& p : props) {
+      p = gamma_draw(beta);
+      total += p;
+    }
+    // Cumulative cut points over the shuffled class members.
+    std::size_t start = 0;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      acc += props[c] / total;
+      const std::size_t end =
+          (c + 1 == n_clients)
+              ? members.size()
+              : std::min(members.size(),
+                         static_cast<std::size_t>(std::llround(
+                             acc * static_cast<double>(members.size()))));
+      for (std::size_t i = start; i < end; ++i) {
+        out[c].push_back(members[i]);
+      }
+      start = std::max(start, end);
+    }
+  }
+  return out;
+}
+
+bool is_exact_partition(const Partition& p, std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& part : p) {
+    for (std::size_t idx : part) {
+      if (idx >= n) return false;
+      if (++seen[idx] > 1) return false;
+    }
+  }
+  for (int s : seen) {
+    if (s != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace helios::data

@@ -1,0 +1,37 @@
+// Federated data partitioners: IID, shard-based Non-IID (Zhao et al. [1] /
+// McMahan et al.), and Dirichlet label-skew.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace helios::data {
+
+/// Index lists, one per client; every source index appears exactly once
+/// across clients (up to divisibility remainders, which go to early clients).
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Uniform random split into `n_clients` near-equal parts.
+Partition partition_iid(std::size_t n_samples, std::size_t n_clients,
+                        util::Rng& rng);
+
+/// Sort-by-label, cut into `n_clients * shards_per_client` shards, deal
+/// `shards_per_client` random shards to each client. With 2 shards/client and
+/// 10 classes each client sees ~2 classes — the paper's Non-IID setting [1].
+Partition partition_shards(std::span<const int> labels,
+                           std::size_t n_clients,
+                           std::size_t shards_per_client, util::Rng& rng);
+
+/// Label-skew via per-class Dirichlet(beta) allocation across clients.
+/// Smaller beta = more skew; beta -> inf approaches IID.
+Partition partition_dirichlet(std::span<const int> labels,
+                              std::size_t n_clients, int num_classes,
+                              double beta, util::Rng& rng);
+
+/// Sanity check: every index in [0, n) appears exactly once.
+bool is_exact_partition(const Partition& p, std::size_t n);
+
+}  // namespace helios::data

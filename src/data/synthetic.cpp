@@ -1,0 +1,132 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace helios::data {
+namespace {
+
+/// Bilinearly upsamples a coarse grid[gh][gw] to out_h x out_w.
+void upsample_bilinear(const std::vector<float>& grid, int gh, int gw,
+                       float* out, int out_h, int out_w) {
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (out_h == 1) ? 0.0F
+                                  : static_cast<float>(y) * (gh - 1) /
+                                        static_cast<float>(out_h - 1);
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, gh - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (out_w == 1) ? 0.0F
+                                    : static_cast<float>(x) * (gw - 1) /
+                                          static_cast<float>(out_w - 1);
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, gw - 1);
+      const float wx = fx - static_cast<float>(x0);
+      const float v00 = grid[static_cast<std::size_t>(y0) * gw + x0];
+      const float v01 = grid[static_cast<std::size_t>(y0) * gw + x1];
+      const float v10 = grid[static_cast<std::size_t>(y1) * gw + x0];
+      const float v11 = grid[static_cast<std::size_t>(y1) * gw + x1];
+      out[static_cast<std::size_t>(y) * out_w + x] =
+          (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+          wy * ((1 - wx) * v10 + wx * v11);
+    }
+  }
+}
+
+/// Smooth random field: coarse i.i.d. normals upsampled to full resolution.
+void smooth_field(util::Rng& rng, int grid, float scale, float* out,
+                  int out_h, int out_w) {
+  std::vector<float> coarse(static_cast<std::size_t>(grid) * grid);
+  for (float& v : coarse) v = static_cast<float>(rng.normal()) * scale;
+  upsample_bilinear(coarse, grid, grid, out, out_h, out_w);
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec, util::Rng& rng) {
+  if (spec.samples <= 0 || spec.channels <= 0 || spec.height <= 0 ||
+      spec.width <= 0 || spec.classes <= 0 || spec.prototype_grid < 2) {
+    throw std::invalid_argument("make_synthetic: bad spec");
+  }
+  const std::size_t plane =
+      static_cast<std::size_t>(spec.height) * spec.width;
+  const std::size_t sample_numel =
+      static_cast<std::size_t>(spec.channels) * plane;
+
+  // One smooth prototype per (class, channel).
+  std::vector<float> prototypes(static_cast<std::size_t>(spec.classes) *
+                                sample_numel);
+  util::Rng proto_rng(spec.prototype_seed);
+  for (int c = 0; c < spec.classes; ++c) {
+    for (int ch = 0; ch < spec.channels; ++ch) {
+      smooth_field(proto_rng, spec.prototype_grid, 1.0F,
+                   prototypes.data() +
+                       static_cast<std::size_t>(c) * sample_numel + ch * plane,
+                   spec.height, spec.width);
+    }
+  }
+
+  Dataset out;
+  out.num_classes = spec.classes;
+  out.images = Tensor({spec.samples, spec.channels, spec.height, spec.width});
+  out.labels.resize(static_cast<std::size_t>(spec.samples));
+  float* img = out.images.data();
+  std::vector<float> deform(plane);
+  for (int i = 0; i < spec.samples; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(spec.classes)));
+    out.labels[static_cast<std::size_t>(i)] = label;
+    const float* proto =
+        prototypes.data() + static_cast<std::size_t>(label) * sample_numel;
+    const float brightness =
+        static_cast<float>(rng.normal()) * 0.1F;  // global jitter
+    float* dst = img + static_cast<std::size_t>(i) * sample_numel;
+    for (int ch = 0; ch < spec.channels; ++ch) {
+      smooth_field(rng, spec.prototype_grid, spec.deform, deform.data(),
+                   spec.height, spec.width);
+      const float* p = proto + static_cast<std::size_t>(ch) * plane;
+      float* d = dst + static_cast<std::size_t>(ch) * plane;
+      for (std::size_t px = 0; px < plane; ++px) {
+        d[px] = p[px] + deform[px] +
+                static_cast<float>(rng.normal()) * spec.noise + brightness;
+      }
+    }
+  }
+  return out;
+}
+
+SyntheticSpec mnist_like_spec(int samples) {
+  SyntheticSpec s;
+  s.samples = samples;
+  s.channels = 1;
+  s.height = 28;
+  s.width = 28;
+  s.classes = 10;
+  return s;
+}
+
+SyntheticSpec cifar10_like_spec(int samples) {
+  SyntheticSpec s;
+  s.samples = samples;
+  s.channels = 3;
+  s.height = 32;
+  s.width = 32;
+  s.classes = 10;
+  s.noise = 0.5F;
+  return s;
+}
+
+SyntheticSpec cifar100_like_spec(int samples) {
+  SyntheticSpec s;
+  s.samples = samples;
+  s.channels = 3;
+  s.height = 16;
+  s.width = 16;
+  s.classes = 100;
+  s.noise = 0.4F;
+  return s;
+}
+
+}  // namespace helios::data

@@ -1,0 +1,57 @@
+// Edge-device resource descriptions (the paper's Table I, plus capable
+// reference devices).
+//
+// The paper simulates heterogeneous edge devices by throttling Jetson Nano
+// boards to the profiles of weaker hardware (Sec. VII-A); we do the same one
+// level up, describing each device by its effective compute bandwidth,
+// memory-transfer speed and network bandwidth, and driving an event-driven
+// virtual clock from the analytic cost model (Sec. IV-B):
+//     Te = W / C_cpu + M / V_mc + M / B_n.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace helios::device {
+
+struct ResourceProfile {
+  std::string name;
+  /// C_cpu — effective training compute bandwidth, GFLOP/s.
+  double compute_gflops = 10.0;
+  /// V_mc — memory/data transfer speed, MB/s.
+  double mem_bandwidth_mbps = 2000.0;
+  /// B_n — network bandwidth, MB/s.
+  double net_bandwidth_mbps = 10.0;
+  /// Memory capacity, MB (optimization-target constraint).
+  double memory_mb = 4096.0;
+
+  bool valid() const {
+    return compute_gflops > 0 && mem_bandwidth_mbps > 0 &&
+           net_bandwidth_mbps > 0 && memory_mb > 0;
+  }
+};
+
+/// Table I straggler presets (effective bandwidths tuned so the analytic
+/// cost model reproduces the paper's per-cycle times for AlexNet/CIFAR-10).
+ResourceProfile jetson_nano_cpu();   // "Nano (CPU)"
+ResourceProfile raspberry_pi();      // "Raspberry"
+ResourceProfile deeplens_gpu();      // "DeepLen (GPU)"
+ResourceProfile deeplens_cpu();      // "DeepLen (CPU)"
+
+/// Capable (non-straggler) reference devices.
+ResourceProfile jetson_nano_gpu();   // strong collaborator in Fig. 1
+ResourceProfile edge_server();       // even stronger aggregator-class node
+
+/// The four Table I stragglers, in paper order.
+std::vector<ResourceProfile> table1_stragglers();
+
+/// Rescales a profile's bandwidth terms for the width-scaled "lite" models
+/// used in simulation. The lite models shrink compute by roughly 26x more
+/// than parameter volume relative to the paper-scale AlexNet, so running the
+/// paper-calibrated profiles unmodified would make every cycle
+/// communication-bound; multiplying the memory/network bandwidths by
+/// `factor` (default 25) restores the paper's compute-bound cycle shape
+/// while preserving the compute ratios between devices.
+ResourceProfile sim_scaled(ResourceProfile p, double factor = 25.0);
+
+}  // namespace helios::device

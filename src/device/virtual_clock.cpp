@@ -1,0 +1,2 @@
+// VirtualClock is header-only; this translation unit anchors the library.
+#include "device/virtual_clock.h"

@@ -1,0 +1,35 @@
+// Event-driven virtual time.
+//
+// Experiments never rely on wall-clock time: every simulated device reports
+// its cycle duration through the cost model, and the orchestration
+// strategies advance this clock (synchronous rounds advance by the max over
+// participants; asynchronous strategies order completion events).
+#pragma once
+
+#include <stdexcept>
+
+namespace helios::device {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advances by `dt` seconds (dt >= 0).
+  void advance(double dt) {
+    if (dt < 0.0) throw std::invalid_argument("VirtualClock: negative dt");
+    now_ += dt;
+  }
+
+  /// Moves to an absolute timestamp (must not go backwards).
+  void advance_to(double t) {
+    if (t < now_) throw std::invalid_argument("VirtualClock: time reversal");
+    now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace helios::device

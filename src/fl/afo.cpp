@@ -1,0 +1,94 @@
+#include "fl/afo.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace helios::fl {
+
+Afo::Afo(double alpha, double staleness_exponent)
+    : alpha_(alpha), staleness_exponent_(staleness_exponent) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Afo: alpha out of (0, 1]");
+  }
+  if (staleness_exponent < 0.0) {
+    throw std::invalid_argument("Afo: negative staleness exponent");
+  }
+}
+
+RunResult Afo::run(Fleet& fleet, int cycles) {
+  RunResult result;
+  result.method = name();
+  if (fleet.size() == 0) throw std::logic_error("Afo: empty fleet");
+
+  auto capable = fleet.capable();
+  const int reference_id =
+      capable.empty() ? fleet.client(0).id() : capable.front()->id();
+
+  // Per-client: the global snapshot and version it started training from.
+  struct InFlight {
+    Client* client = nullptr;
+    std::vector<float> base;
+    std::vector<float> base_buffers;
+    long started_version = 0;
+  };
+  struct Event {
+    double time;
+    int client_index;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::vector<InFlight> inflight(fleet.size());
+
+  long version = 0;
+  auto start_client = [&](std::size_t i, double now) {
+    Client& c = fleet.client(i);
+    inflight[i].client = &c;
+    inflight[i].base.assign(fleet.server().global().begin(),
+                            fleet.server().global().end());
+    inflight[i].base_buffers.assign(fleet.server().global_buffers().begin(),
+                                    fleet.server().global_buffers().end());
+    inflight[i].started_version = version;
+    queue.push({now + c.estimate_cycle_seconds({}), static_cast<int>(i)});
+  };
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    start_client(i, fleet.clock().now());
+  }
+
+  int recorded = 0;
+  double loss_acc = 0.0;
+  double upload_acc = 0.0;
+  int loss_count = 0;
+  while (recorded < cycles && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    fleet.clock().advance_to(ev.time);
+    auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
+
+    ClientUpdate update =
+        fl.client->run_cycle(fl.base, fl.base_buffers, {});
+    const long staleness = version - fl.started_version;
+    const double mix_alpha =
+        alpha_ * std::pow(1.0 + static_cast<double>(staleness),
+                          -staleness_exponent_);
+    fleet.server().mix(update, mix_alpha);
+    ++version;
+    loss_acc += update.mean_loss;
+    upload_acc += update.upload_mb;
+    ++loss_count;
+
+    if (fl.client->id() == reference_id) {
+      result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
+                               loss_acc / loss_count, upload_acc});
+      ++recorded;
+      loss_acc = 0.0;
+      upload_acc = 0.0;
+      loss_count = 0;
+    }
+    start_client(static_cast<std::size_t>(ev.client_index),
+                 fleet.clock().now());
+  }
+  return result;
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,27 @@
+// Baseline 3: AFO — asynchronous federated optimization (Xie et al. [6]).
+//
+// Fully event-driven: whenever any device finishes a local cycle, the server
+// mixes its model into the global one with a staleness-decayed weight
+//     alpha_t = alpha * (1 + staleness)^(-a)
+// (polynomial staleness function), and the device immediately restarts from
+// the fresh global model. Metrics are recorded once per completion of the
+// first capable device, aligning the cycle axis with the other strategies.
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace helios::fl {
+
+class Afo final : public Strategy {
+ public:
+  explicit Afo(double alpha = 0.9, double staleness_exponent = 0.8);
+
+  std::string name() const override { return "AFO"; }
+  RunResult run(Fleet& fleet, int cycles) override;
+
+ private:
+  double alpha_;
+  double staleness_exponent_;
+};
+
+}  // namespace helios::fl

@@ -1,0 +1,169 @@
+#include "fl/async.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace helios::fl {
+
+AsyncFL::AsyncFL(int straggler_period, double mix_beta)
+    : straggler_period_(straggler_period), mix_beta_(mix_beta) {
+  if (straggler_period < 0) {
+    throw std::invalid_argument("AsyncFL: negative period");
+  }
+  if (mix_beta <= 0.0 || mix_beta > 1.0) {
+    throw std::invalid_argument("AsyncFL: mix_beta out of (0, 1]");
+  }
+}
+
+std::string AsyncFL::name() const {
+  if (straggler_period_ == 0) return "Asyn. FL";
+  return "Asyn. FL (period " + std::to_string(straggler_period_) + ")";
+}
+
+RunResult AsyncFL::run(Fleet& fleet, int cycles) {
+  return straggler_period_ == 0 ? run_fully_async(fleet, cycles)
+                                : run_period(fleet, cycles);
+}
+
+RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
+  RunResult result;
+  result.method = name();
+  if (fleet.size() == 0) throw std::logic_error("AsyncFL: empty fleet");
+  auto capable = fleet.capable();
+  if (capable.empty()) throw std::logic_error("AsyncFL: no capable devices");
+  const int reference_id = capable.front()->id();
+
+  struct InFlight {
+    Client* client = nullptr;
+    std::vector<float> base;
+    std::vector<float> base_buffers;
+  };
+  struct Event {
+    double time;
+    int client_index;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::vector<InFlight> inflight(fleet.size());
+
+  auto start_client = [&](std::size_t i, double now) {
+    Client& c = fleet.client(i);
+    inflight[i].client = &c;
+    inflight[i].base.assign(fleet.server().global().begin(),
+                            fleet.server().global().end());
+    inflight[i].base_buffers.assign(fleet.server().global_buffers().begin(),
+                                    fleet.server().global_buffers().end());
+    queue.push({now + c.estimate_cycle_seconds({}), static_cast<int>(i)});
+  };
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    start_client(i, fleet.clock().now());
+  }
+
+  int recorded = 0;
+  double loss_acc = 0.0;
+  double upload_acc = 0.0;
+  int loss_count = 0;
+  while (recorded < cycles && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    fleet.clock().advance_to(ev.time);
+    auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
+
+    // Fixed-weight mixing, no staleness discount — the stale update of a
+    // straggler overwrites recent progress proportionally to beta.
+    ClientUpdate update = fl.client->run_cycle(fl.base, fl.base_buffers, {});
+    fleet.server().mix(update, mix_beta_);
+    loss_acc += update.mean_loss;
+    upload_acc += update.upload_mb;
+    ++loss_count;
+
+    if (fl.client->id() == reference_id) {
+      result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
+                               loss_count ? loss_acc / loss_count : 0.0,
+                               upload_acc});
+      ++recorded;
+      loss_acc = 0.0;
+      upload_acc = 0.0;
+      loss_count = 0;
+    }
+    start_client(static_cast<std::size_t>(ev.client_index),
+                 fleet.clock().now());
+  }
+  return result;
+}
+
+RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
+  RunResult result;
+  result.method = name();
+  AggOptions opts;
+
+  auto capable = fleet.capable();
+  auto stragglers = fleet.stragglers();
+  if (capable.empty()) {
+    throw std::logic_error("AsyncFL: no capable devices");
+  }
+
+  // Straggler background-training state: the global snapshot it started
+  // from and the cycle its update is due.
+  struct StragglerState {
+    std::vector<float> base;
+    std::vector<float> base_buffers;
+    bool busy = false;
+    int started_cycle = 0;
+  };
+  std::unordered_map<int, StragglerState> state;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Start any idle straggler on the current global snapshot.
+    for (Client* s : stragglers) {
+      auto& st = state[s->id()];
+      if (!st.busy) {
+        st.base.assign(fleet.server().global().begin(),
+                       fleet.server().global().end());
+        st.base_buffers.assign(fleet.server().global_buffers().begin(),
+                               fleet.server().global_buffers().end());
+        st.busy = true;
+        st.started_cycle = cycle;
+      }
+    }
+
+    // Capable devices train synchronously among themselves.
+    std::vector<ClientUpdate> updates;
+    double round_seconds = 0.0;
+    double loss = 0.0;
+    double upload = 0.0;
+    for (Client* c : capable) {
+      updates.push_back(c->run_cycle(fleet.server().global(),
+                                     fleet.server().global_buffers(), {}));
+      round_seconds = std::max(
+          round_seconds,
+          updates.back().train_seconds + updates.back().upload_seconds);
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+    }
+    fleet.clock().advance(round_seconds);
+
+    // Merge straggler updates whose period elapsed, computed from the stale
+    // snapshot they started on.
+    for (Client* s : stragglers) {
+      auto& st = state[s->id()];
+      if (!st.busy) continue;
+      if (cycle - st.started_cycle + 1 < straggler_period_) continue;
+      updates.push_back(s->run_cycle(st.base, st.base_buffers, {}));
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+      st.busy = false;
+    }
+
+    fleet.server().aggregate(updates, opts);
+    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
+                             loss / static_cast<double>(updates.size()),
+                             upload});
+  }
+  return result;
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,38 @@
+// Baseline 2: asynchronous FL (Asyn. FL).
+//
+// Default mode (straggler_period == 0): fully asynchronous, as in the
+// paper's baseline — whenever any device (capable or straggler) finishes a
+// local cycle, its model is immediately mixed into the global one with a
+// fixed weight and *no staleness control*:
+//     global <- (1 - beta) * global + beta * local.
+// A straggler's update was computed from a many-cycles-old snapshot, so each
+// merge drags the global model back toward stale parameters — the
+// information-degradation / stale-update failure mode of Sec. II-B (AFO is
+// this engine plus a polynomial staleness discount).
+//
+// Period mode (straggler_period == k > 0): capable devices aggregate among
+// themselves every cycle; each straggler's update is merged every k cycles
+// from the snapshot it started on — the "aggregation cycle = 2 / 3 epochs"
+// settings of Fig. 2.
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace helios::fl {
+
+class AsyncFL final : public Strategy {
+ public:
+  explicit AsyncFL(int straggler_period = 0, double mix_beta = 0.5);
+
+  std::string name() const override;
+  RunResult run(Fleet& fleet, int cycles) override;
+
+ private:
+  RunResult run_fully_async(Fleet& fleet, int cycles);
+  RunResult run_period(Fleet& fleet, int cycles);
+
+  int straggler_period_;
+  double mix_beta_;
+};
+
+}  // namespace helios::fl

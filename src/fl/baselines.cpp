@@ -1,0 +1,85 @@
+#include "fl/baselines.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fl/submodel.h"
+
+namespace helios::fl {
+namespace {
+
+/// Shared synchronous loop: `mask_for(client, cycle)` supplies each
+/// straggler's submodel mask (empty = full model).
+template <typename MaskFn>
+RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
+                            MaskFn mask_for) {
+  RunResult result;
+  result.method = method;
+  AggOptions opts;  // sample weighting, no hetero weights for baselines
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::vector<ClientUpdate> updates;
+    double round_seconds = 0.0;
+    double loss = 0.0;
+    double upload = 0.0;
+    for (auto& client : fleet.clients()) {
+      const std::vector<std::uint8_t> mask = mask_for(*client, cycle);
+      updates.push_back(client->run_cycle(fleet.server().global(),
+                                          fleet.server().global_buffers(),
+                                          mask));
+      round_seconds = std::max(
+          round_seconds,
+          updates.back().train_seconds + updates.back().upload_seconds);
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+    }
+    fleet.clock().advance(round_seconds);
+    fleet.server().aggregate(updates, opts);
+    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
+                             loss / static_cast<double>(fleet.size()),
+                             upload});
+  }
+  return result;
+}
+
+}  // namespace
+
+RandomSubmodel::RandomSubmodel(std::uint64_t seed) : seed_(seed) {}
+
+RunResult RandomSubmodel::run(Fleet& fleet, int cycles) {
+  util::Rng rng(seed_);
+  std::unordered_map<int, util::Rng> client_rng;
+  for (auto& c : fleet.clients()) {
+    client_rng.emplace(c->id(), rng.fork(static_cast<std::uint64_t>(c->id())));
+  }
+  return run_sync_submodel(
+      fleet, cycles, "Random",
+      [&](Client& client, int /*cycle*/) -> std::vector<std::uint8_t> {
+        if (!client.is_straggler() || client.volume() >= 1.0) return {};
+        return random_volume_mask(client.model(), client.volume(),
+                                  client_rng.at(client.id()));
+      });
+}
+
+StaticPrune::StaticPrune(std::uint64_t seed) : seed_(seed) {}
+
+RunResult StaticPrune::run(Fleet& fleet, int cycles) {
+  util::Rng rng(seed_);
+  // One fixed mask per straggler for the whole run.
+  std::unordered_map<int, std::vector<std::uint8_t>> fixed;
+  for (auto& c : fleet.clients()) {
+    if (c->is_straggler() && c->volume() < 1.0) {
+      util::Rng crng = rng.fork(static_cast<std::uint64_t>(c->id()));
+      fixed.emplace(c->id(),
+                    random_volume_mask(c->model(), c->volume(), crng));
+    }
+  }
+  return run_sync_submodel(
+      fleet, cycles, "Static Prune",
+      [&](Client& client, int /*cycle*/) -> std::vector<std::uint8_t> {
+        auto it = fixed.find(client.id());
+        if (it == fixed.end()) return {};
+        return it->second;
+      });
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,37 @@
+// Baselines 4 & 5: submodel training without Helios' contribution-aware
+// rotation.
+//
+// RandomSubmodel (Caldas et al. [12]): every cycle each straggler trains a
+// fresh uniformly random submodel at its expected volume. Synchronous
+// aggregation; per-neuron averaging without heterogeneity weights.
+//
+// StaticPrune (Jiang et al. [14] style): each straggler trains a submodel
+// chosen once and kept forever — the "permanent model structure loss" the
+// paper argues against; pruned neurons never rejoin training.
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace helios::fl {
+
+class RandomSubmodel final : public Strategy {
+ public:
+  explicit RandomSubmodel(std::uint64_t seed = 99);
+  std::string name() const override { return "Random"; }
+  RunResult run(Fleet& fleet, int cycles) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class StaticPrune final : public Strategy {
+ public:
+  explicit StaticPrune(std::uint64_t seed = 99);
+  std::string name() const override { return "Static Prune"; }
+  RunResult run(Fleet& fleet, int cycles) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace helios::fl

@@ -1,0 +1,151 @@
+#include "fl/client.h"
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace helios::fl {
+
+double ClientUpdate::trained_fraction(int neuron_total) const {
+  if (neuron_total <= 0) return 1.0;
+  if (trained_mask.empty()) return 1.0;
+  int active = 0;
+  for (auto b : trained_mask) active += (b != 0);
+  return static_cast<double>(active) / neuron_total;
+}
+
+Client::Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
+               ClientConfig config, device::ResourceProfile profile)
+    : id_(id),
+      data_(std::move(local_data)),
+      config_(config),
+      profile_(std::move(profile)),
+      model_(spec.build(config.seed)),
+      opt_(config.lr, config.momentum, 0.0F, config.grad_clip),
+      loader_(data_, config.batch_size, util::Rng(config.seed).fork(0x10AD)) {
+  if (!profile_.valid()) throw std::invalid_argument("Client: invalid profile");
+  data_.validate();
+}
+
+ClientUpdate Client::run_cycle(std::span<const float> global_params,
+                               std::span<const float> global_buffers,
+                               std::span<const std::uint8_t> neuron_mask,
+                               double work_scale) {
+  if (work_scale <= 0.0 || work_scale > 1.0) {
+    throw std::invalid_argument("run_cycle: work_scale out of (0, 1]");
+  }
+  opt_.set_lr(current_lr());
+  model_.load_params(global_params);
+  model_.load_buffers(global_buffers);
+  if (neuron_mask.empty()) {
+    model_.clear_neuron_mask();
+  } else {
+    model_.set_neuron_mask(neuron_mask);
+  }
+
+  double loss_sum = 0.0;
+  int batches = 0;
+  int samples_processed = 0;
+  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+    loader_.reset();
+    const int per_epoch = std::max(
+        1, static_cast<int>(loader_.batches_per_epoch() * work_scale));
+    for (int b = 0; b < per_epoch; ++b) {
+      data::Batch batch = loader_.next();
+      const nn::StepResult step = local_step(batch, global_params);
+      loss_sum += step.loss;
+      ++batches;
+      samples_processed += batch.size();
+    }
+  }
+
+  // Cost-model the cycle while the mask is still installed, then clean up.
+  const device::WorkloadEstimate workload = device::estimate_workload(
+      model_, samples_processed / std::max(1, config_.local_epochs),
+      config_.local_epochs);
+
+  ClientUpdate update;
+  update.client_id = id_;
+  update.params = model_.params_flat();
+  update.buffers = model_.buffers_flat();
+  update.trained_mask.assign(neuron_mask.begin(), neuron_mask.end());
+  update.sample_count = num_samples();
+  update.train_seconds = device::training_cycle_seconds(profile_, workload);
+  update.upload_seconds = device::upload_seconds(profile_, workload);
+  update.upload_mb = workload.upload_mb;
+  update.mean_loss = batches > 0 ? loss_sum / batches : 0.0;
+
+  model_.clear_neuron_mask();
+  ++cycles_completed_;
+  return update;
+}
+
+float Client::current_lr() const {
+  if (config_.lr_decay >= 1.0F) return config_.lr;
+  float lr = config_.lr;
+  for (int i = 0; i < cycles_completed_; ++i) lr *= config_.lr_decay;
+  return lr;
+}
+
+nn::StepResult Client::local_step(const data::Batch& batch,
+                                  std::span<const float> global_params) {
+  if (config_.proximal_mu <= 0.0F) {
+    return nn::train_step(model_, opt_, batch.images, batch.labels);
+  }
+  // FedProx: gradient of f_n(w) + mu/2 * ||w - w_global||^2.
+  model_.zero_grad();
+  tensor::Tensor logits = model_.forward(batch.images, /*training=*/true);
+  tensor::Tensor dlogits;
+  nn::StepResult result;
+  result.loss =
+      tensor::softmax_cross_entropy(logits, batch.labels, dlogits);
+  result.correct = tensor::count_correct(logits, batch.labels);
+  model_.backward(dlogits);
+  const float mu = config_.proximal_mu;
+  for (const nn::ParamRef& ref : model_.param_refs()) {
+    float* g = ref.grad->data();
+    const float* w = ref.param->data();
+    const float* anchor = global_params.data() + ref.flat_offset;
+    for (std::size_t i = 0; i < ref.param->numel(); ++i) {
+      g[i] += mu * (w[i] - anchor[i]);
+    }
+  }
+  opt_.step(model_);
+  return result;
+}
+
+double Client::estimate_cycle_seconds(
+    std::span<const std::uint8_t> neuron_mask) {
+  if (neuron_mask.empty()) {
+    model_.clear_neuron_mask();
+  } else {
+    model_.set_neuron_mask(neuron_mask);
+  }
+  const device::WorkloadEstimate workload = device::estimate_workload(
+      model_, data_.size(), config_.local_epochs);
+  model_.clear_neuron_mask();
+  return device::total_cycle_seconds(profile_, workload);
+}
+
+double Client::testbench_seconds(int iterations) {
+  if (iterations <= 0) throw std::invalid_argument("testbench: iterations <= 0");
+  model_.clear_neuron_mask();
+  const device::WorkloadEstimate workload = device::estimate_workload(
+      model_, iterations * config_.batch_size, /*local_epochs=*/1);
+  return device::training_cycle_seconds(profile_, workload);
+}
+
+void Client::set_volume(double v) {
+  if (v <= 0.0 || v > 1.0) {
+    throw std::invalid_argument("Client: volume must be in (0, 1]");
+  }
+  volume_ = v;
+}
+
+void Client::set_proximal_mu(float mu) {
+  if (mu < 0.0F) throw std::invalid_argument("Client: negative proximal mu");
+  config_.proximal_mu = mu;
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,117 @@
+// Federated client: a simulated edge device owning a local dataset, a model
+// replica, and a resource profile that drives its virtual training time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "device/cost_model.h"
+#include "device/resource.h"
+#include "models/zoo.h"
+#include "nn/sgd.h"
+
+namespace helios::fl {
+
+struct ClientConfig {
+  int batch_size = 32;
+  int local_epochs = 1;
+  float lr = 0.05F;
+  float momentum = 0.0F;
+  /// Global gradient-norm clip (0 disables); stabilizes skewed local
+  /// objectives under Non-IID splits.
+  float grad_clip = 5.0F;
+  /// FedProx proximal coefficient mu (0 = plain local SGD): adds
+  /// mu * (w - w_global) to every gradient, anchoring local training to the
+  /// global model (Li et al., 2020).
+  float proximal_mu = 0.0F;
+  /// Multiplicative learning-rate decay applied once per completed cycle:
+  /// lr(cycle) = lr * lr_decay^cycle. 1.0 = constant rate.
+  float lr_decay = 1.0F;
+  std::uint64_t seed = 1;
+};
+
+/// What a client sends to the server after one local training cycle.
+struct ClientUpdate {
+  int client_id = -1;
+  /// Full flat parameter vector after local training (frozen neurons are
+  /// bit-identical to the global parameters the client received).
+  std::vector<float> params;
+  /// Non-learnable state after training (BatchNorm running statistics).
+  std::vector<float> buffers;
+  /// Per-neuron trained flags (empty = full model trained).
+  std::vector<std::uint8_t> trained_mask;
+  std::size_t sample_count = 0;
+  double train_seconds = 0.0;   // virtual time, cost-model driven
+  double upload_seconds = 0.0;  // virtual time
+  double upload_mb = 0.0;       // communication volume of this update
+  double mean_loss = 0.0;
+
+  /// Fraction of neurons trained (r_n in the paper's Eq. 10).
+  double trained_fraction(int neuron_total) const;
+};
+
+class Client {
+ public:
+  Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
+         ClientConfig config, device::ResourceProfile profile);
+
+  /// One local training cycle: load the global parameters and buffers,
+  /// install the submodel mask (empty = full model), run `local_epochs`
+  /// epochs of SGD, and return the update together with its virtual-time
+  /// costs. `work_scale` in (0, 1] processes only that fraction of each
+  /// epoch's mini-batches — FedProx-style variable local work for weak
+  /// devices (time scales accordingly).
+  ClientUpdate run_cycle(std::span<const float> global_params,
+                         std::span<const float> global_buffers,
+                         std::span<const std::uint8_t> neuron_mask,
+                         double work_scale = 1.0);
+
+  /// Cost-model estimate of a cycle under `neuron_mask` without training.
+  double estimate_cycle_seconds(std::span<const std::uint8_t> neuron_mask);
+
+  /// Virtual cost of the lightweight identification test bench
+  /// (`iterations` mini-batches of full-model training).
+  double testbench_seconds(int iterations);
+
+  int id() const { return id_; }
+  const device::ResourceProfile& profile() const { return profile_; }
+  const data::Dataset& dataset() const { return data_; }
+  std::size_t num_samples() const { return static_cast<std::size_t>(data_.size()); }
+  nn::Model& model() { return model_; }
+  const ClientConfig& config() const { return config_; }
+
+  /// Straggler bookkeeping (set by identification / target determination).
+  bool is_straggler() const { return straggler_; }
+  void set_straggler(bool s) { straggler_ = s; }
+  /// Expected model volume (keep ratio P); 1.0 = full model.
+  double volume() const { return volume_; }
+  void set_volume(double v);
+
+  /// FedProx proximal coefficient (runtime-adjustable; see ClientConfig).
+  void set_proximal_mu(float mu);
+
+  /// Number of completed local training cycles (drives lr decay).
+  int cycles_completed() const { return cycles_completed_; }
+  /// Effective learning rate for the next cycle.
+  float current_lr() const;
+
+ private:
+  nn::StepResult local_step(const data::Batch& batch,
+                            std::span<const float> global_params);
+
+  int id_;
+  data::Dataset data_;
+  ClientConfig config_;
+  device::ResourceProfile profile_;
+  nn::Model model_;
+  nn::Sgd opt_;
+  data::DataLoader loader_;
+  bool straggler_ = false;
+  double volume_ = 1.0;
+  int cycles_completed_ = 0;
+};
+
+}  // namespace helios::fl

@@ -1,0 +1,49 @@
+#include "fl/fedprox.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace helios::fl {
+
+FedProx::FedProx(float mu, double min_work) : mu_(mu), min_work_(min_work) {
+  if (mu < 0.0F) throw std::invalid_argument("FedProx: negative mu");
+  if (min_work <= 0.0 || min_work > 1.0) {
+    throw std::invalid_argument("FedProx: min_work out of (0, 1]");
+  }
+}
+
+RunResult FedProx::run(Fleet& fleet, int cycles) {
+  RunResult result;
+  result.method = name();
+  AggOptions opts;
+  for (auto& client : fleet.clients()) client->set_proximal_mu(mu_);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::vector<ClientUpdate> updates;
+    updates.reserve(fleet.size());
+    double round_seconds = 0.0;
+    double loss = 0.0;
+    double upload = 0.0;
+    for (auto& client : fleet.clients()) {
+      const double work =
+          client->is_straggler()
+              ? std::clamp(client->volume(), min_work_, 1.0)
+              : 1.0;
+      updates.push_back(client->run_cycle(fleet.server().global(),
+                                          fleet.server().global_buffers(),
+                                          {}, work));
+      round_seconds = std::max(
+          round_seconds,
+          updates.back().train_seconds + updates.back().upload_seconds);
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+    }
+    fleet.clock().advance(round_seconds);
+    fleet.server().aggregate(updates, opts);
+    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
+                             loss / static_cast<double>(fleet.size()),
+                             upload});
+  }
+  return result;
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,41 @@
+#include "fl/fleet.h"
+
+#include <stdexcept>
+
+namespace helios::fl {
+
+Fleet::Fleet(const models::ModelSpec& spec, data::Dataset test_set,
+             std::uint64_t seed)
+    : spec_(spec), server_(spec.build(seed)), test_set_(std::move(test_set)) {
+  test_set_.validate();
+}
+
+Client& Fleet::add_client(data::Dataset local_data, ClientConfig config,
+                          device::ResourceProfile profile) {
+  auto client = std::make_unique<Client>(next_id_++, spec_,
+                                         std::move(local_data), config,
+                                         std::move(profile));
+  if (client->model().param_count() != server_.param_count()) {
+    throw std::logic_error("Fleet: client/server parameter count mismatch");
+  }
+  clients_.push_back(std::move(client));
+  return *clients_.back();
+}
+
+std::vector<Client*> Fleet::stragglers() {
+  std::vector<Client*> out;
+  for (auto& c : clients_) {
+    if (c->is_straggler()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<Client*> Fleet::capable() {
+  std::vector<Client*> out;
+  for (auto& c : clients_) {
+    if (!c->is_straggler()) out.push_back(c.get());
+  }
+  return out;
+}
+
+}  // namespace helios::fl

@@ -1,0 +1,48 @@
+// A federation: server + clients + held-out test set + virtual clock.
+#pragma once
+
+#include <memory>
+
+#include "device/virtual_clock.h"
+#include "fl/client.h"
+#include "fl/server.h"
+
+namespace helios::fl {
+
+class Fleet {
+ public:
+  /// Builds the global model from `spec` with `seed`; all clients must be
+  /// constructed from the same spec (checked by parameter count).
+  Fleet(const models::ModelSpec& spec, data::Dataset test_set,
+        std::uint64_t seed = 7);
+
+  /// Adds a client owning `local_data`; returns it for further setup.
+  Client& add_client(data::Dataset local_data, ClientConfig config,
+                     device::ResourceProfile profile);
+
+  std::size_t size() const { return clients_.size(); }
+  Client& client(std::size_t i) { return *clients_.at(i); }
+  std::vector<std::unique_ptr<Client>>& clients() { return clients_; }
+
+  Server& server() { return server_; }
+  const data::Dataset& test_set() const { return test_set_; }
+  device::VirtualClock& clock() { return clock_; }
+  const models::ModelSpec& spec() const { return spec_; }
+
+  /// Clients flagged as stragglers (by identification or manual setup).
+  std::vector<Client*> stragglers();
+  /// Clients not flagged as stragglers.
+  std::vector<Client*> capable();
+
+  double evaluate() { return server_.evaluate_accuracy(test_set_); }
+
+ private:
+  models::ModelSpec spec_;
+  Server server_;
+  data::Dataset test_set_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  device::VirtualClock clock_;
+  int next_id_ = 0;
+};
+
+}  // namespace helios::fl

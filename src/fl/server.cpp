@@ -1,0 +1,174 @@
+#include "fl/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace helios::fl {
+
+Server::Server(nn::Model reference) : model_(std::move(reference)) {
+  global_ = model_.params_flat();
+  buffers_ = model_.buffers_flat();
+  neuron_owned_.assign(global_.size(), 0);
+  for (const nn::NeuronInfo& n : model_.neurons()) {
+    for (const nn::FlatSlice& s : n.slices) {
+      std::fill_n(neuron_owned_.begin() + static_cast<std::ptrdiff_t>(s.offset),
+                  s.length, std::uint8_t{1});
+    }
+  }
+}
+
+void Server::set_global(std::vector<float> params) {
+  if (params.size() != global_.size()) {
+    throw std::invalid_argument("Server::set_global: size mismatch");
+  }
+  global_ = std::move(params);
+}
+
+void Server::set_global_buffers(std::vector<float> buffers) {
+  if (buffers.size() != buffers_.size()) {
+    throw std::invalid_argument("Server::set_global_buffers: size mismatch");
+  }
+  buffers_ = std::move(buffers);
+}
+
+void Server::aggregate(std::span<const ClientUpdate> updates,
+                       const AggOptions& opts) {
+  if (updates.empty()) return;
+  const std::size_t p = global_.size();
+  const int m = neuron_total();
+  const auto& neurons = model_.neurons();
+
+  // alpha_n = r_n / sum r (Eq. 10); uniform when the option is off. The
+  // per-index normalization below divides by the sum of participating
+  // weights, so only relative alphas matter. Eq. 10 compensates for the
+  // structural divergence of partial models, so alpha applies to the
+  // neuron-owned parameters; common parameters (e.g. the classifier head,
+  // which every device always trains in full) keep plain FedAvg weights —
+  // otherwise extreme volume gaps would starve the shared head of the
+  // stragglers' data.
+  if (opts.alpha_damping < 0.0 || opts.alpha_damping > 1.0) {
+    throw std::invalid_argument("Server::aggregate: alpha_damping out of [0,1]");
+  }
+  std::vector<double> common_w(updates.size(), 1.0);
+  std::vector<double> neuron_w(updates.size(), 1.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ClientUpdate& u = updates[i];
+    if (u.params.size() != p) {
+      throw std::invalid_argument("Server::aggregate: update size mismatch");
+    }
+    if (!u.trained_mask.empty() &&
+        static_cast<int>(u.trained_mask.size()) != m) {
+      throw std::invalid_argument("Server::aggregate: bad trained mask size");
+    }
+    double w = 1.0;
+    if (opts.sample_weighting) w *= static_cast<double>(u.sample_count);
+    common_w[i] = w;
+    if (opts.hetero_volume_weights) {
+      // Damped Eq. 10 weight; the per-index normalization divides by the
+      // participating weight sum, so no global normalization is needed.
+      const double d = opts.alpha_damping;
+      w *= (1.0 - d) + d * u.trained_fraction(m);
+    }
+    neuron_w[i] = w;
+    if (opts.alpha_scope == AggOptions::AlphaScope::kWholeUpdate) {
+      common_w[i] = w;
+    }
+  }
+
+  std::vector<double> acc(p, 0.0);
+  std::vector<double> den(p, 0.0);
+  std::vector<std::uint8_t> allowed(p);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ClientUpdate& u = updates[i];
+    if (u.trained_mask.empty() || !opts.per_neuron_merge) {
+      std::fill(allowed.begin(), allowed.end(), std::uint8_t{1});
+    } else {
+      // Common (non-neuron) parameters are always trained; neuron-owned
+      // parameters only when their neuron was in this cycle's submodel.
+      for (std::size_t f = 0; f < p; ++f) allowed[f] = !neuron_owned_[f];
+      for (int j = 0; j < m; ++j) {
+        if (!u.trained_mask[static_cast<std::size_t>(j)]) continue;
+        for (const nn::FlatSlice& s : neurons[static_cast<std::size_t>(j)].slices) {
+          std::fill_n(allowed.begin() + static_cast<std::ptrdiff_t>(s.offset),
+                      s.length, std::uint8_t{1});
+        }
+      }
+    }
+    for (std::size_t f = 0; f < p; ++f) {
+      if (!allowed[f]) continue;
+      const double w = neuron_owned_[f] ? neuron_w[i] : common_w[i];
+      acc[f] += w * u.params[f];
+      den[f] += w;
+    }
+  }
+  for (std::size_t f = 0; f < p; ++f) {
+    if (den[f] > 0.0) global_[f] = static_cast<float>(acc[f] / den[f]);
+  }
+
+  // Buffers (BatchNorm statistics) are plain weighted averages; they are not
+  // neuron-indexed, so every participating client contributes everywhere.
+  if (!buffers_.empty()) {
+    std::vector<double> bacc(buffers_.size(), 0.0);
+    double bden = 0.0;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const ClientUpdate& u = updates[i];
+      if (u.buffers.size() != buffers_.size()) {
+        throw std::invalid_argument("Server::aggregate: buffer size mismatch");
+      }
+      for (std::size_t f = 0; f < buffers_.size(); ++f) {
+        bacc[f] += common_w[i] * u.buffers[f];
+      }
+      bden += common_w[i];
+    }
+    if (bden > 0.0) {
+      for (std::size_t f = 0; f < buffers_.size(); ++f) {
+        buffers_[f] = static_cast<float>(bacc[f] / bden);
+      }
+    }
+  }
+}
+
+void Server::mix(const ClientUpdate& update, double alpha) {
+  if (update.params.size() != global_.size()) {
+    throw std::invalid_argument("Server::mix: size mismatch");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Server::mix: alpha out of [0, 1]");
+  }
+  const float a = static_cast<float>(alpha);
+  for (std::size_t f = 0; f < global_.size(); ++f) {
+    global_[f] = (1.0F - a) * global_[f] + a * update.params[f];
+  }
+  if (!buffers_.empty()) {
+    if (update.buffers.size() != buffers_.size()) {
+      throw std::invalid_argument("Server::mix: buffer size mismatch");
+    }
+    for (std::size_t f = 0; f < buffers_.size(); ++f) {
+      buffers_[f] = (1.0F - a) * buffers_[f] + a * update.buffers[f];
+    }
+  }
+}
+
+double Server::evaluate_accuracy(const data::Dataset& test, int batch) {
+  if (batch <= 0) throw std::invalid_argument("evaluate_accuracy: batch <= 0");
+  if (test.size() == 0) return 0.0;
+  model_.clear_neuron_mask();
+  model_.load_params(global_);
+  model_.load_buffers(buffers_);
+  const int n = test.size();
+  const std::size_t sample = static_cast<std::size_t>(test.channels()) *
+                             test.height() * test.width();
+  int correct = 0;
+  for (int start = 0; start < n; start += batch) {
+    const int take = std::min(batch, n - start);
+    tensor::Tensor x({take, test.channels(), test.height(), test.width()});
+    std::copy_n(test.images.data() + static_cast<std::size_t>(start) * sample,
+                static_cast<std::size_t>(take) * sample, x.data());
+    std::span<const int> labels(test.labels.data() + start,
+                                static_cast<std::size_t>(take));
+    correct += nn::evaluate_batch(model_, x, labels);
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace helios::fl

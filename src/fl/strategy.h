@@ -1,0 +1,22 @@
+// Orchestration strategy interface. A strategy drives a Fleet for a number
+// of aggregation cycles (measured at the capable devices, matching the
+// x-axis of the paper's figures) and returns the per-cycle metric trace.
+#pragma once
+
+#include "fl/fleet.h"
+#include "fl/metrics.h"
+
+namespace helios::fl {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs `cycles` aggregation cycles on `fleet` (which should be freshly
+  /// constructed — strategies mutate the server's global model and advance
+  /// the fleet clock).
+  virtual RunResult run(Fleet& fleet, int cycles) = 0;
+};
+
+}  // namespace helios::fl

@@ -1,0 +1,67 @@
+#include "fl/sync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace helios::fl {
+
+SyncFL::SyncFL(double participation, std::uint64_t seed)
+    : participation_(participation), seed_(seed) {
+  if (participation <= 0.0 || participation > 1.0) {
+    throw std::invalid_argument("SyncFL: participation out of (0, 1]");
+  }
+}
+
+std::string SyncFL::name() const {
+  if (participation_ >= 1.0) return "Syn. FL";
+  return "Syn. FL (C=" + std::to_string(participation_).substr(0, 4) + ")";
+}
+
+RunResult SyncFL::run(Fleet& fleet, int cycles) {
+  RunResult result;
+  result.method = name();
+  AggOptions opts;  // plain sample-weighted FedAvg
+  util::Rng rng(seed_);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Sample this cycle's participants.
+    std::vector<Client*> participants;
+    if (participation_ >= 1.0) {
+      for (auto& c : fleet.clients()) participants.push_back(c.get());
+    } else {
+      const std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(participation_ *
+                              static_cast<double>(fleet.size()))));
+      for (std::size_t idx : rng.sample_without_replacement(fleet.size(), k)) {
+        participants.push_back(&fleet.client(idx));
+      }
+    }
+
+    std::vector<ClientUpdate> updates;
+    updates.reserve(participants.size());
+    double round_seconds = 0.0;
+    double loss = 0.0;
+    double upload = 0.0;
+    for (Client* client : participants) {
+      updates.push_back(client->run_cycle(fleet.server().global(),
+                                          fleet.server().global_buffers(),
+                                          {}));
+      round_seconds = std::max(
+          round_seconds,
+          updates.back().train_seconds + updates.back().upload_seconds);
+      loss += updates.back().mean_loss;
+      upload += updates.back().upload_mb;
+    }
+    fleet.clock().advance(round_seconds);
+    fleet.server().aggregate(updates, opts);
+    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
+                             loss / static_cast<double>(participants.size()),
+                             upload});
+  }
+  return result;
+}
+
+}  // namespace helios::fl

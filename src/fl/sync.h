@@ -1,0 +1,27 @@
+// Baseline 1: fully synchronous FedAvg (Syn. FL).
+//
+// Every device — stragglers included — trains the full model each cycle and
+// the server waits for the slowest one, so the cycle time is dominated by
+// the worst straggler (the Fig. 1 problem).
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace helios::fl {
+
+class SyncFL final : public Strategy {
+ public:
+  /// `participation` in (0, 1]: the fraction of clients sampled uniformly
+  /// at random each cycle (classic FedAvg partial participation; 1.0 = all
+  /// devices every cycle). At least one client always participates.
+  explicit SyncFL(double participation = 1.0, std::uint64_t seed = 17);
+
+  std::string name() const override;
+  RunResult run(Fleet& fleet, int cycles) override;
+
+ private:
+  double participation_;
+  std::uint64_t seed_;
+};
+
+}  // namespace helios::fl

@@ -1,0 +1,57 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace helios::nn {
+
+/// Rectified linear unit; works on any input rank.
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "ReLU"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  double forward_flops_per_sample() const override { return 0.0; }
+
+ private:
+  std::vector<std::uint8_t> positive_;  // per-element x > 0 cache
+  std::size_t cached_numel_ = 0;
+};
+
+/// Leaky ReLU with configurable negative slope.
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01F);
+  std::string name() const override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  float slope_;
+  std::vector<std::uint8_t> positive_;
+  std::size_t cached_numel_ = 0;
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  std::string name() const override { return "Tanh"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  std::string name() const override { return "Sigmoid"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace helios::nn

@@ -1,0 +1,57 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::nn {
+
+Adam::Adam(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  if (lr <= 0.0F) throw std::invalid_argument("Adam: non-positive lr");
+  if (beta1 < 0.0F || beta1 >= 1.0F || beta2 < 0.0F || beta2 >= 1.0F) {
+    throw std::invalid_argument("Adam: betas out of [0, 1)");
+  }
+  if (eps <= 0.0F) throw std::invalid_argument("Adam: non-positive eps");
+  if (weight_decay < 0.0F) {
+    throw std::invalid_argument("Adam: negative weight decay");
+  }
+}
+
+void Adam::step(Model& model) {
+  const std::size_t n = model.param_count();
+  if (m_.size() != n) {
+    m_.assign(n, 0.0F);
+    v_.assign(n, 0.0F);
+    t_ = 0;
+  }
+  ++t_;
+  const auto& frozen = model.frozen_flat_mask();
+  const float bc1 =
+      1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 =
+      1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (const ParamRef& ref : model.param_refs()) {
+    float* w = ref.param->data();
+    const float* g = ref.grad->data();
+    const std::size_t count = ref.param->numel();
+    const std::uint8_t* fz =
+        frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
+    float* m = m_.data() + ref.flat_offset;
+    float* v = v_.data() + ref.flat_offset;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (fz && fz[i]) continue;
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace helios::nn

@@ -1,0 +1,28 @@
+// Adam optimizer (Kingma & Ba, 2015) with the same frozen-parameter
+// contract as Sgd: parameters of masked neurons receive no update and no
+// moment accumulation, so soft-training freeze semantics hold under
+// adaptive optimization too.
+#pragma once
+
+#include "nn/model.h"
+
+namespace helios::nn {
+
+class Adam {
+ public:
+  explicit Adam(float lr = 1e-3F, float beta1 = 0.9F, float beta2 = 0.999F,
+                float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step(Model& model);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  long steps_taken() const { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<float> m_, v_;  // flat first/second moments
+};
+
+}  // namespace helios::nn

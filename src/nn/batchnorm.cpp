@@ -1,0 +1,149 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::nn {
+
+using tensor::Shape;
+
+BatchNorm2d::BatchNorm2d(int channels, int in_h, int in_w, float eps,
+                         float momentum)
+    : channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::full({channels}, 1.0F)),
+      beta_(Tensor::zeros({channels})),
+      dgamma_(Tensor::zeros({channels})),
+      dbeta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::full({channels}, 1.0F)) {
+  if (channels <= 0 || in_h <= 0 || in_w <= 0) {
+    throw std::invalid_argument("BatchNorm2d: bad geometry");
+  }
+}
+
+std::string BatchNorm2d::name() const {
+  return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  if (x.shape() != Shape{x.dim(0), channels_, in_h_, in_w_}) {
+    throw std::invalid_argument(name() + ": bad input shape " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  const int n = x.dim(0);
+  const std::size_t plane = static_cast<std::size_t>(in_h_) * in_w_;
+  const std::size_t per_channel = static_cast<std::size_t>(n) * plane;
+  Tensor y(x.shape());
+  if (training) {
+    cached_xhat_ = Tensor(x.shape());
+    invstd_.assign(static_cast<std::size_t>(channels_), 0.0F);
+    cached_batch_ = n;
+  }
+  const float* xp = x.data();
+  float* yp = y.data();
+  float* hp = training ? cached_xhat_.data() : nullptr;
+  for (int c = 0; c < channels_; ++c) {
+    if (!channel_active(c)) continue;  // y stays zero for dropped channels
+    float mean_c, var_c;
+    if (training) {
+      double s = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const float* src = xp + (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        for (std::size_t p = 0; p < plane; ++p) s += src[p];
+      }
+      mean_c = static_cast<float>(s / static_cast<double>(per_channel));
+      double v = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const float* src = xp + (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        for (std::size_t p = 0; p < plane; ++p) {
+          const double d = src[p] - mean_c;
+          v += d * d;
+        }
+      }
+      var_c = static_cast<float>(v / static_cast<double>(per_channel));
+      running_mean_.at(c) =
+          (1.0F - momentum_) * running_mean_.at(c) + momentum_ * mean_c;
+      running_var_.at(c) =
+          (1.0F - momentum_) * running_var_.at(c) + momentum_ * var_c;
+    } else {
+      mean_c = running_mean_.at(c);
+      var_c = running_var_.at(c);
+    }
+    const float invstd = 1.0F / std::sqrt(var_c + eps_);
+    if (training) invstd_[static_cast<std::size_t>(c)] = invstd;
+    const float g = gamma_.at(c), b = beta_.at(c);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base = (static_cast<std::size_t>(i) * channels_ + c) * plane;
+      const float* src = xp + base;
+      float* dst = yp + base;
+      float* hat = training ? hp + base : nullptr;
+      for (std::size_t p = 0; p < plane; ++p) {
+        const float xh = (src[p] - mean_c) * invstd;
+        if (training) hat[p] = xh;
+        dst[p] = g * xh + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const int n = cached_batch_;
+  if (n == 0 || grad_out.shape() != Shape{n, channels_, in_h_, in_w_}) {
+    throw std::logic_error(name() + ": backward shape mismatch");
+  }
+  const std::size_t plane = static_cast<std::size_t>(in_h_) * in_w_;
+  const std::size_t per_channel = static_cast<std::size_t>(n) * plane;
+  Tensor dx(grad_out.shape());
+  const float* gp = grad_out.data();
+  const float* hp = cached_xhat_.data();
+  float* dp = dx.data();
+  for (int c = 0; c < channels_; ++c) {
+    if (!channel_active(c)) continue;  // dropped channel: dx stays zero
+    // Channel-wise sums needed by the batch-norm gradient.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base = (static_cast<std::size_t>(i) * channels_ + c) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        sum_dy += gp[base + p];
+        sum_dy_xhat += static_cast<double>(gp[base + p]) * hp[base + p];
+      }
+    }
+    dbeta_.at(c) += static_cast<float>(sum_dy);
+    dgamma_.at(c) += static_cast<float>(sum_dy_xhat);
+    const float g = gamma_.at(c);
+    const float invstd = invstd_[static_cast<std::size_t>(c)];
+    const float inv_m = 1.0F / static_cast<float>(per_channel);
+    const float mean_dy = static_cast<float>(sum_dy) * inv_m;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) * inv_m;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base = (static_cast<std::size_t>(i) * channels_ + c) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        dp[base + p] = g * invstd *
+                       (gp[base + p] - mean_dy - hp[base + p] * mean_dy_xhat);
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::set_mask(std::span<const std::uint8_t> mask) {
+  check_mask_size(mask, channels_, "BatchNorm2d");
+  mask_.assign(mask.begin(), mask.end());
+}
+
+std::vector<ParamSlice> BatchNorm2d::neuron_slices(int j) const {
+  if (j < 0 || j >= channels_) {
+    throw std::out_of_range("BatchNorm2d::neuron_slices");
+  }
+  return {
+      {0, static_cast<std::size_t>(j), 1},  // gamma_j
+      {1, static_cast<std::size_t>(j), 1},  // beta_j
+  };
+}
+
+}  // namespace helios::nn

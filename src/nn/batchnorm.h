@@ -1,0 +1,58 @@
+// Per-channel batch normalization (NCHW) acting as a *mask follower*.
+//
+// In Helios a conv filter and its BatchNorm affine pair (gamma, beta) form
+// one logical neuron: when soft-training drops the filter, the BatchNorm
+// channel is dropped with it (output forced to zero, statistics and
+// parameter gradients skipped). The Model links each BatchNorm to its
+// leading conv and mirrors the conv's mask onto it.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace helios::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  BatchNorm2d(int channels, int in_h, int in_w, float eps = 1e-5F,
+              float momentum = 0.1F);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+  std::vector<Tensor*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  int neuron_count() const override { return channels_; }
+  bool mask_follower() const override { return true; }
+  void set_mask(std::span<const std::uint8_t> mask) override;
+  void clear_mask() override { mask_.clear(); }
+  std::vector<ParamSlice> neuron_slices(int j) const override;
+
+  double activation_numel_per_sample() const override {
+    return static_cast<double>(channels_) * in_h_ * in_w_;
+  }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  bool channel_active(int c) const {
+    return mask_.empty() || mask_[static_cast<std::size_t>(c)] != 0;
+  }
+
+  int channels_, in_h_, in_w_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor running_mean_, running_var_;
+  std::vector<std::uint8_t> mask_;
+  // Training caches.
+  Tensor cached_xhat_;        // normalized input
+  std::vector<float> invstd_;  // per channel
+  int cached_batch_ = 0;
+};
+
+}  // namespace helios::nn

@@ -1,0 +1,159 @@
+#include <algorithm>
+
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::nn {
+
+using tensor::Shape;
+
+Conv2d::Conv2d(int in_channels, int in_h, int in_w, int out_channels,
+               int kernel, int stride, int pad, util::Rng& rng, bool maskable)
+    : geometry_{in_channels, in_h, in_w, kernel, stride, pad},
+      out_channels_(out_channels),
+      maskable_(maskable),
+      weight_(Tensor::randn(
+          {out_channels, geometry_.patch_size()}, rng,
+          std::sqrt(2.0F / static_cast<float>(geometry_.patch_size())))),
+      bias_(Tensor::zeros({out_channels})),
+      dweight_(Tensor::zeros({out_channels, geometry_.patch_size()})),
+      dbias_(Tensor::zeros({out_channels})) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0) {
+    throw std::invalid_argument("Conv2d: bad geometry");
+  }
+  if (geometry_.out_h() <= 0 || geometry_.out_w() <= 0) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(geometry_.in_channels) + "->" +
+         std::to_string(out_channels_) + ", k=" +
+         std::to_string(geometry_.kernel) + ", s=" +
+         std::to_string(geometry_.stride) + ")";
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  const Shape want{x.dim(0), geometry_.in_channels, geometry_.in_h,
+                   geometry_.in_w};
+  if (x.ndim() != 4 || x.shape() != want) {
+    throw std::invalid_argument(name() + ": bad input shape " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  if (training) cached_input_ = x;
+  const int n = x.dim(0);
+  const int oh = geometry_.out_h(), ow = geometry_.out_w();
+  const int plane = oh * ow;
+  const std::size_t in_sample =
+      static_cast<std::size_t>(geometry_.in_channels) * geometry_.in_h *
+      geometry_.in_w;
+  Tensor y({n, out_channels_, oh, ow});
+  Tensor cols({geometry_.patch_size(), plane});
+  Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+  Tensor ys({out_channels_, plane});
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(x.data() + static_cast<std::size_t>(i) * in_sample, in_sample,
+                sample.data());
+    tensor::im2col(sample, geometry_, cols);
+    tensor::matmul_masked_rows_into(weight_, cols, mask_, ys);
+    float* yp = y.data() + static_cast<std::size_t>(i) * out_channels_ * plane;
+    const float* ysp = ys.data();
+    const float* bp = bias_.data();
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const bool active = mask_.empty() || mask_[static_cast<std::size_t>(oc)];
+      float* dst = yp + static_cast<std::size_t>(oc) * plane;
+      const float* src = ysp + static_cast<std::size_t>(oc) * plane;
+      if (active) {
+        const float b = bp[oc];
+        for (int p = 0; p < plane; ++p) dst[p] = src[p] + b;
+      } else {
+        for (int p = 0; p < plane; ++p) dst[p] = 0.0F;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(name() + ": backward before training forward");
+  }
+  const int n = cached_input_.dim(0);
+  const int oh = geometry_.out_h(), ow = geometry_.out_w();
+  const int plane = oh * ow;
+  if (grad_out.shape() != Shape{n, out_channels_, oh, ow}) {
+    throw std::invalid_argument(name() + ": bad grad shape " +
+                                tensor::shape_to_string(grad_out.shape()));
+  }
+  const std::size_t in_sample =
+      static_cast<std::size_t>(geometry_.in_channels) * geometry_.in_h *
+      geometry_.in_w;
+  Tensor dx({n, geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+  Tensor cols({geometry_.patch_size(), plane});
+  Tensor dcols({geometry_.patch_size(), plane});
+  Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+  Tensor dsample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+  Tensor gy({out_channels_, plane});
+  float* dbp = dbias_.data();
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(cached_input_.data() + static_cast<std::size_t>(i) * in_sample,
+                in_sample, sample.data());
+    tensor::im2col(sample, geometry_, cols);
+    const float* gp = grad_out.data() +
+                      static_cast<std::size_t>(i) * out_channels_ * plane;
+    std::copy_n(gp, static_cast<std::size_t>(out_channels_) * plane, gy.data());
+    // dW += dY * cols^T for active filters; db += row sums of dY.
+    tensor::matmul_nt_masked_rows_accumulate(gy, cols, mask_, dweight_);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      if (!mask_.empty() && !mask_[static_cast<std::size_t>(oc)]) continue;
+      const float* row = gy.data() + static_cast<std::size_t>(oc) * plane;
+      float acc = 0.0F;
+      for (int p = 0; p < plane; ++p) acc += row[p];
+      dbp[oc] += acc;
+    }
+    // dcols = W^T dY restricted to active filters, folded back to dx.
+    dcols.fill(0.0F);
+    tensor::matmul_tn_masked_accumulate(weight_, gy, mask_, dcols);
+    dsample.fill(0.0F);
+    tensor::col2im_accumulate(dcols, geometry_, dsample);
+    std::copy_n(dsample.data(), in_sample,
+                dx.data() + static_cast<std::size_t>(i) * in_sample);
+  }
+  return dx;
+}
+
+void Conv2d::set_mask(std::span<const std::uint8_t> mask) {
+  if (!maskable_) {
+    throw std::logic_error(name() + ": layer is not maskable");
+  }
+  check_mask_size(mask, out_channels_, "Conv2d");
+  mask_.assign(mask.begin(), mask.end());
+}
+
+std::vector<ParamSlice> Conv2d::neuron_slices(int j) const {
+  if (j < 0 || j >= out_channels_) {
+    throw std::out_of_range("Conv2d::neuron_slices");
+  }
+  const std::size_t patch = static_cast<std::size_t>(geometry_.patch_size());
+  return {
+      {0, static_cast<std::size_t>(j) * patch, patch},  // filter j
+      {1, static_cast<std::size_t>(j), 1},              // bias j
+  };
+}
+
+double Conv2d::forward_flops_per_sample() const {
+  const int active = mask_.empty() ? out_channels_ : active_count(mask_);
+  return static_cast<double>(active) * geometry_.patch_size() *
+             geometry_.out_h() * geometry_.out_w() * 2.0 +
+         static_cast<double>(active) * geometry_.out_h() * geometry_.out_w();
+}
+
+double Conv2d::activation_numel_per_sample() const {
+  const int active = mask_.empty() ? out_channels_ : active_count(mask_);
+  return static_cast<double>(active) * geometry_.out_h() * geometry_.out_w();
+}
+
+}  // namespace helios::nn

@@ -1,0 +1,51 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace helios::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0F || rate >= 1.0F) {
+    throw std::invalid_argument("Dropout: rate out of [0, 1)");
+  }
+}
+
+std::string Dropout::name() const {
+  return "Dropout(" + std::to_string(rate_) + ")";
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0F) {
+    cached_numel_ = x.numel();
+    kept_.assign(x.numel(), 1);
+    scaled_ = false;
+    return x;
+  }
+  Tensor y = x;
+  kept_.resize(y.numel());
+  cached_numel_ = y.numel();
+  scaled_ = true;
+  const float scale = 1.0F / (1.0F - rate_);
+  float* yp = y.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    kept_[i] = !rng_.bernoulli(rate_);
+    yp[i] = kept_[i] ? yp[i] * scale : 0.0F;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (grad_out.numel() != cached_numel_) {
+    throw std::logic_error("Dropout: backward/forward size mismatch");
+  }
+  Tensor dx = grad_out;
+  if (!scaled_) return dx;
+  const float scale = 1.0F / (1.0F - rate_);
+  float* dp = dx.data();
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    dp[i] = kept_[i] ? dp[i] * scale : 0.0F;
+  }
+  return dx;
+}
+
+}  // namespace helios::nn

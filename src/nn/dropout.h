@@ -1,0 +1,27 @@
+// Inverted dropout (train-time scaling; identity at evaluation).
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace helios::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1); kept units are scaled by
+  /// 1/(1-rate) so evaluation needs no correction.
+  Dropout(float rate, std::uint64_t seed);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  float rate_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> kept_;
+  std::size_t cached_numel_ = 0;
+  bool scaled_ = false;  // whether the last forward applied the mask
+};
+
+}  // namespace helios::nn

@@ -1,0 +1,33 @@
+#include "nn/flatten.h"
+
+#include <stdexcept>
+
+namespace helios::nn {
+
+using tensor::Shape;
+
+Flatten::Flatten(int channels, int in_h, int in_w)
+    : channels_(channels), in_h_(in_h), in_w_(in_w) {
+  if (channels <= 0 || in_h <= 0 || in_w <= 0) {
+    throw std::invalid_argument("Flatten: bad geometry");
+  }
+}
+
+Tensor Flatten::forward(const Tensor& x, bool training) {
+  if (x.shape() != Shape{x.dim(0), channels_, in_h_, in_w_}) {
+    throw std::invalid_argument("Flatten: bad input shape " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  if (training) cached_batch_ = x.dim(0);
+  return x.reshaped({x.dim(0), channels_ * in_h_ * in_w_});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_batch_ == 0 ||
+      grad_out.shape() != Shape{cached_batch_, channels_ * in_h_ * in_w_}) {
+    throw std::logic_error("Flatten: backward shape mismatch");
+  }
+  return grad_out.reshaped({cached_batch_, channels_, in_h_, in_w_});
+}
+
+}  // namespace helios::nn

@@ -1,0 +1,25 @@
+// Shape adapter between convolutional and dense stages.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace helios::nn {
+
+/// [N, C, H, W] -> [N, C*H*W]; backward restores the spatial shape.
+class Flatten final : public Layer {
+ public:
+  Flatten(int channels, int in_h, int in_w);
+
+  std::string name() const override { return "Flatten"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  double activation_numel_per_sample() const override {
+    return static_cast<double>(channels_) * in_h_ * in_w_;
+  }
+
+ private:
+  int channels_, in_h_, in_w_;
+  int cached_batch_ = 0;
+};
+
+}  // namespace helios::nn

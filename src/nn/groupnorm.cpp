@@ -1,0 +1,180 @@
+#include "nn/groupnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::nn {
+
+using tensor::Shape;
+
+GroupNorm2d::GroupNorm2d(int channels, int in_h, int in_w, int groups,
+                         float eps)
+    : channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      groups_(groups),
+      eps_(eps),
+      gamma_(Tensor::full({channels}, 1.0F)),
+      beta_(Tensor::zeros({channels})),
+      dgamma_(Tensor::zeros({channels})),
+      dbeta_(Tensor::zeros({channels})) {
+  if (channels <= 0 || in_h <= 0 || in_w <= 0 || groups <= 0 ||
+      channels % groups != 0) {
+    throw std::invalid_argument("GroupNorm2d: groups must divide channels");
+  }
+}
+
+std::string GroupNorm2d::name() const {
+  return "GroupNorm2d(" + std::to_string(channels_) + "/" +
+         std::to_string(groups_) + ")";
+}
+
+Tensor GroupNorm2d::forward(const Tensor& x, bool training) {
+  if (x.shape() != Shape{x.dim(0), channels_, in_h_, in_w_}) {
+    throw std::invalid_argument(name() + ": bad input shape " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  const int n = x.dim(0);
+  const std::size_t plane = static_cast<std::size_t>(in_h_) * in_w_;
+  const int per_group = channels_ / groups_;
+  Tensor y(x.shape());
+  if (training) {
+    cached_xhat_ = Tensor(x.shape());
+    invstd_.assign(static_cast<std::size_t>(n) * groups_, 0.0F);
+    cached_batch_ = n;
+  }
+  const float* xp = x.data();
+  float* yp = y.data();
+  float* hp = training ? cached_xhat_.data() : nullptr;
+  for (int i = 0; i < n; ++i) {
+    for (int g = 0; g < groups_; ++g) {
+      // Statistics over the group's *active* channels.
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (int k = 0; k < per_group; ++k) {
+        const int c = g * per_group + k;
+        if (!channel_active(c)) continue;
+        const float* src =
+            xp + (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        for (std::size_t p = 0; p < plane; ++p) sum += src[p];
+        count += plane;
+      }
+      if (count == 0) continue;  // whole group masked; outputs stay zero
+      const float mean =
+          static_cast<float>(sum / static_cast<double>(count));
+      double var_acc = 0.0;
+      for (int k = 0; k < per_group; ++k) {
+        const int c = g * per_group + k;
+        if (!channel_active(c)) continue;
+        const float* src =
+            xp + (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        for (std::size_t p = 0; p < plane; ++p) {
+          const double d = src[p] - mean;
+          var_acc += d * d;
+        }
+      }
+      const float invstd = 1.0F / std::sqrt(static_cast<float>(
+                                      var_acc / static_cast<double>(count)) +
+                                  eps_);
+      if (training) {
+        invstd_[static_cast<std::size_t>(i) * groups_ + g] = invstd;
+      }
+      for (int k = 0; k < per_group; ++k) {
+        const int c = g * per_group + k;
+        if (!channel_active(c)) continue;
+        const std::size_t base =
+            (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        const float gam = gamma_.at(c), bet = beta_.at(c);
+        for (std::size_t p = 0; p < plane; ++p) {
+          const float xh = (xp[base + p] - mean) * invstd;
+          if (training) hp[base + p] = xh;
+          yp[base + p] = gam * xh + bet;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor GroupNorm2d::backward(const Tensor& grad_out) {
+  const int n = cached_batch_;
+  if (n == 0 || grad_out.shape() != Shape{n, channels_, in_h_, in_w_}) {
+    throw std::logic_error(name() + ": backward shape mismatch");
+  }
+  const std::size_t plane = static_cast<std::size_t>(in_h_) * in_w_;
+  const int per_group = channels_ / groups_;
+  Tensor dx(grad_out.shape());
+  const float* gp = grad_out.data();
+  const float* hp = cached_xhat_.data();
+  float* dp = dx.data();
+  for (int i = 0; i < n; ++i) {
+    for (int g = 0; g < groups_; ++g) {
+      const float invstd = invstd_[static_cast<std::size_t>(i) * groups_ + g];
+      if (invstd == 0.0F) continue;  // whole group was masked
+      // Group sums of dxhat and dxhat * xhat (dxhat = dy * gamma_c).
+      double sum_dxh = 0.0, sum_dxh_xh = 0.0;
+      std::size_t count = 0;
+      for (int k = 0; k < per_group; ++k) {
+        const int c = g * per_group + k;
+        if (!channel_active(c)) continue;
+        const std::size_t base =
+            (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        const float gam = gamma_.at(c);
+        for (std::size_t p = 0; p < plane; ++p) {
+          const double dxh = static_cast<double>(gp[base + p]) * gam;
+          sum_dxh += dxh;
+          sum_dxh_xh += dxh * hp[base + p];
+        }
+        count += plane;
+      }
+      if (count == 0) continue;
+      const float mean_dxh = static_cast<float>(sum_dxh / count);
+      const float mean_dxh_xh = static_cast<float>(sum_dxh_xh / count);
+      for (int k = 0; k < per_group; ++k) {
+        const int c = g * per_group + k;
+        if (!channel_active(c)) continue;
+        const std::size_t base =
+            (static_cast<std::size_t>(i) * channels_ + c) * plane;
+        const float gam = gamma_.at(c);
+        for (std::size_t p = 0; p < plane; ++p) {
+          const float dxh = gp[base + p] * gam;
+          dp[base + p] =
+              invstd * (dxh - mean_dxh - hp[base + p] * mean_dxh_xh);
+        }
+      }
+    }
+  }
+  // Parameter gradients (per channel, over batch).
+  for (int c = 0; c < channels_; ++c) {
+    if (!channel_active(c)) continue;
+    double dgam = 0.0, dbet = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base =
+          (static_cast<std::size_t>(i) * channels_ + c) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        dgam += static_cast<double>(gp[base + p]) * hp[base + p];
+        dbet += gp[base + p];
+      }
+    }
+    dgamma_.at(c) += static_cast<float>(dgam);
+    dbeta_.at(c) += static_cast<float>(dbet);
+  }
+  return dx;
+}
+
+void GroupNorm2d::set_mask(std::span<const std::uint8_t> mask) {
+  check_mask_size(mask, channels_, "GroupNorm2d");
+  mask_.assign(mask.begin(), mask.end());
+}
+
+std::vector<ParamSlice> GroupNorm2d::neuron_slices(int j) const {
+  if (j < 0 || j >= channels_) {
+    throw std::out_of_range("GroupNorm2d::neuron_slices");
+  }
+  return {
+      {0, static_cast<std::size_t>(j), 1},  // gamma_j
+      {1, static_cast<std::size_t>(j), 1},  // beta_j
+  };
+}
+
+}  // namespace helios::nn

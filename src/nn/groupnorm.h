@@ -1,0 +1,54 @@
+// Group normalization (Wu & He, 2018) — the batch-independent alternative
+// to BatchNorm that federated learning work often prefers: it carries no
+// running statistics, so nothing needs to be averaged across clients and
+// small local batches do not corrupt the normalizer.
+//
+// Like BatchNorm2d it is a mask follower: its per-channel affine pair
+// belongs to the leading conv's neuron, and masked channels emit zero.
+// Masked channels are also excluded from their group's statistics.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace helios::nn {
+
+class GroupNorm2d final : public Layer {
+ public:
+  /// `groups` must divide `channels`.
+  GroupNorm2d(int channels, int in_h, int in_w, int groups, float eps = 1e-5F);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+
+  int neuron_count() const override { return channels_; }
+  bool mask_follower() const override { return true; }
+  void set_mask(std::span<const std::uint8_t> mask) override;
+  void clear_mask() override { mask_.clear(); }
+  std::vector<ParamSlice> neuron_slices(int j) const override;
+
+  double activation_numel_per_sample() const override {
+    return static_cast<double>(channels_) * in_h_ * in_w_;
+  }
+
+  int groups() const { return groups_; }
+
+ private:
+  bool channel_active(int c) const {
+    return mask_.empty() || mask_[static_cast<std::size_t>(c)] != 0;
+  }
+
+  int channels_, in_h_, in_w_, groups_;
+  float eps_;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  std::vector<std::uint8_t> mask_;
+  // Training caches (per sample, per group).
+  Tensor cached_xhat_;
+  std::vector<float> invstd_;  // [n * groups]
+  int cached_batch_ = 0;
+};
+
+}  // namespace helios::nn

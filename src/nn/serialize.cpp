@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace helios::nn {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'E', 'L', 'I', 'O', 'S', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_checkpoint(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  const std::vector<float> params = model.params_flat();
+  const std::vector<float> buffers = model.buffers_flat();
+  const std::uint64_t param_count = params.size();
+  const std::uint64_t buffer_count = buffers.size();
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&param_count), sizeof(param_count));
+  out.write(reinterpret_cast<const char*>(&buffer_count),
+            sizeof(buffer_count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(buffers.data()),
+            static_cast<std::streamsize>(buffers.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed: " + path);
+}
+
+void load_checkpoint(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint64_t param_count = 0, buffer_count = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&param_count), sizeof(param_count));
+  in.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: not a Helios checkpoint: " +
+                             path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  if (param_count != model.param_count() ||
+      buffer_count != model.buffer_count()) {
+    throw std::runtime_error(
+        "load_checkpoint: checkpoint sized for a different architecture");
+  }
+  std::vector<float> params(param_count);
+  std::vector<float> buffers(buffer_count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  in.read(reinterpret_cast<char*>(buffers.data()),
+          static_cast<std::streamsize>(buffers.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file: " + path);
+  model.load_params(params);
+  model.load_buffers(buffers);
+}
+
+}  // namespace helios::nn

@@ -1,0 +1,23 @@
+// Binary model checkpointing.
+//
+// Format: magic "HELIOSCK", u32 version, u64 param count, u64 buffer count,
+// raw float32 parameters, raw float32 buffers. The architecture itself is
+// not serialized — checkpoints are loaded into a model built from the same
+// ModelSpec, and the counts are validated on load.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace helios::nn {
+
+/// Writes `model`'s parameters and buffers to `path`. Throws on I/O error.
+void save_checkpoint(Model& model, const std::string& path);
+
+/// Loads a checkpoint written by save_checkpoint into `model`.
+/// Throws if the file is missing, malformed, or sized for a different
+/// architecture.
+void load_checkpoint(Model& model, const std::string& path);
+
+}  // namespace helios::nn

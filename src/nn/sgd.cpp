@@ -1,0 +1,67 @@
+#include <algorithm>
+
+#include "nn/sgd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::nn {
+
+Sgd::Sgd(float lr, float momentum, float weight_decay, float clip_norm)
+    : lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      clip_norm_(clip_norm) {
+  if (lr <= 0.0F) throw std::invalid_argument("Sgd: non-positive lr");
+  if (momentum < 0.0F || momentum >= 1.0F) {
+    throw std::invalid_argument("Sgd: momentum out of [0, 1)");
+  }
+  if (weight_decay < 0.0F) {
+    throw std::invalid_argument("Sgd: negative weight decay");
+  }
+  if (clip_norm < 0.0F) {
+    throw std::invalid_argument("Sgd: negative clip norm");
+  }
+}
+
+void Sgd::step(Model& model) {
+  const std::size_t n = model.param_count();
+  const bool use_momentum = momentum_ > 0.0F;
+  if (use_momentum && velocity_.size() != n) velocity_.assign(n, 0.0F);
+  const auto& frozen = model.frozen_flat_mask();
+
+  float clip_scale = 1.0F;
+  if (clip_norm_ > 0.0F) {
+    double norm_sq = 0.0;
+    for (const ParamRef& ref : model.param_refs()) {
+      const float* g = ref.grad->data();
+      for (std::size_t i = 0; i < ref.param->numel(); ++i) {
+        norm_sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > clip_norm_) {
+      clip_scale = static_cast<float>(clip_norm_ / norm);
+    }
+  }
+
+  for (const ParamRef& ref : model.param_refs()) {
+    float* w = ref.param->data();
+    const float* g = ref.grad->data();
+    const std::size_t count = ref.param->numel();
+    const std::uint8_t* fz =
+        frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
+    float* v = use_momentum ? velocity_.data() + ref.flat_offset : nullptr;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (fz && fz[i]) continue;
+      float grad = g[i] * clip_scale + weight_decay_ * w[i];
+      if (use_momentum) {
+        v[i] = momentum_ * v[i] + grad;
+        grad = v[i];
+      }
+      w[i] -= lr_ * grad;
+    }
+  }
+}
+
+}  // namespace helios::nn

@@ -1,0 +1,415 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace helios::tensor {
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+void require_2d(const Tensor& t, const char* what) {
+  if (t.ndim() != 2) {
+    throw std::invalid_argument(std::string(what) + " must be 2-D, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+
+bool row_active(RowMask mask, int row) {
+  return mask.empty() || mask[static_cast<std::size_t>(row)] != 0;
+}
+
+}  // namespace
+
+void add_inplace(Tensor& dst, const Tensor& src) {
+  require_same_shape(dst, src, "add_inplace");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] += s[i];
+}
+
+void sub_inplace(Tensor& dst, const Tensor& src) {
+  require_same_shape(dst, src, "sub_inplace");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] -= s[i];
+}
+
+void scale_inplace(Tensor& dst, float s) {
+  for (float& v : dst.flat()) v *= s;
+}
+
+void axpy_inplace(Tensor& dst, float s, const Tensor& src) {
+  require_same_shape(dst, src, "axpy_inplace");
+  float* d = dst.data();
+  const float* x = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] += s * x[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* d = out.data();
+  const float* s = b.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) d[i] *= s[i];
+  return out;
+}
+
+double sum(const Tensor& t) {
+  double s = 0.0;
+  for (float v : t.flat()) s += v;
+  return s;
+}
+
+double l1_norm(const Tensor& t) {
+  double s = 0.0;
+  for (float v : t.flat()) s += std::fabs(v);
+  return s;
+}
+
+double l2_norm(const Tensor& t) {
+  double s = 0.0;
+  for (float v : t.flat()) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+float max_value(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("max_value: empty tensor");
+  float m = t.flat()[0];
+  for (float v : t.flat()) m = std::max(m, v);
+  return m;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul lhs");
+  require_2d(b, "matmul rhs");
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul_masked_rows_into(a, b, {}, c);
+  return c;
+}
+
+void matmul_masked_rows_into(const Tensor& a, const Tensor& b, RowMask mask,
+                             Tensor& c) {
+  require_2d(a, "matmul lhs");
+  require_2d(b, "matmul rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  if (!mask.empty() && static_cast<int>(mask.size()) != m) {
+    throw std::invalid_argument("matmul: row mask size mismatch");
+  }
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  else c.fill(0.0F);
+
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // i-k-j loop order: the inner j loop streams contiguous rows of B and C,
+  // which the compiler vectorizes.
+  for (int i = 0; i < m; ++i) {
+    if (!row_active(mask, i)) continue;
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    float* crow = cp + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0F) continue;
+      const float* brow = bp + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_tn_masked_accumulate(const Tensor& a, const Tensor& b,
+                                 RowMask mask, Tensor& c) {
+  require_2d(a, "matmul_tn lhs");
+  require_2d(b, "matmul_tn rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m) throw std::invalid_argument("matmul_tn: row mismatch");
+  if (c.shape() != Shape{k, n}) {
+    throw std::invalid_argument("matmul_tn: output must be pre-shaped [k,n]");
+  }
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int i = 0; i < m; ++i) {
+    if (!row_active(mask, i)) continue;
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    const float* brow = bp + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0F) continue;
+      float* crow = cp + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_nt_masked_cols_into(const Tensor& a, const Tensor& b, RowMask mask,
+                                Tensor& c) {
+  require_2d(a, "matmul_nt lhs");
+  require_2d(b, "matmul_nt rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner mismatch");
+  if (!mask.empty() && static_cast<int>(mask.size()) != n) {
+    throw std::invalid_argument("matmul_nt: column mask size mismatch");
+  }
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  else c.fill(0.0F);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    float* crow = cp + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      if (!row_active(mask, j)) continue;  // output unit j skipped
+      const float* brow = bp + static_cast<std::size_t>(j) * k;
+      float acc = 0.0F;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+void matmul_nn_masked_inner_accumulate(const Tensor& a, const Tensor& b,
+                                       RowMask mask, Tensor& c) {
+  require_2d(a, "matmul_nn lhs");
+  require_2d(b, "matmul_nn rhs");
+  const int m = a.dim(0), n = a.dim(1), k = b.dim(1);
+  if (b.dim(0) != n) throw std::invalid_argument("matmul_nn: inner mismatch");
+  if (c.shape() != Shape{m, k}) {
+    throw std::invalid_argument("matmul_nn: output must be pre-shaped [m,k]");
+  }
+  if (!mask.empty() && static_cast<int>(mask.size()) != n) {
+    throw std::invalid_argument("matmul_nn: inner mask size mismatch");
+  }
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<std::size_t>(i) * n;
+    float* crow = cp + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      if (!row_active(mask, j)) continue;
+      const float aij = arow[j];
+      if (aij == 0.0F) continue;
+      const float* brow = bp + static_cast<std::size_t>(j) * k;
+      for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
+    }
+  }
+}
+
+void matmul_tn_masked_out_rows_into(const Tensor& a, const Tensor& b,
+                                    RowMask mask, Tensor& c) {
+  require_2d(a, "matmul_tn_out lhs");
+  require_2d(b, "matmul_tn_out rhs");
+  const int m = a.dim(0), n = a.dim(1), k = b.dim(1);
+  if (b.dim(0) != m) throw std::invalid_argument("matmul_tn_out: row mismatch");
+  if (c.shape() != Shape{n, k}) c = Tensor({n, k});
+  else c.fill(0.0F);
+  if (!mask.empty() && static_cast<int>(mask.size()) != n) {
+    throw std::invalid_argument("matmul_tn_out: row mask size mismatch");
+  }
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // c[j, :] = sum_i a[i, j] * b[i, :] — skip inactive output rows j.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<std::size_t>(i) * n;
+    const float* brow = bp + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      if (!row_active(mask, j)) continue;
+      const float aij = arow[j];
+      if (aij == 0.0F) continue;
+      float* crow = cp + static_cast<std::size_t>(j) * k;
+      for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
+    }
+  }
+}
+
+void matmul_nt_masked_rows_accumulate(const Tensor& a, const Tensor& b,
+                                      RowMask mask, Tensor& c) {
+  require_2d(a, "matmul_nt_rows lhs");
+  require_2d(b, "matmul_nt_rows rhs");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_nt_rows: inner mismatch");
+  }
+  if (c.shape() != Shape{m, n}) {
+    throw std::invalid_argument("matmul_nt_rows: output must be pre-shaped");
+  }
+  if (!mask.empty() && static_cast<int>(mask.size()) != m) {
+    throw std::invalid_argument("matmul_nt_rows: row mask size mismatch");
+  }
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int i = 0; i < m; ++i) {
+    if (!row_active(mask, i)) continue;
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    float* crow = cp + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = bp + static_cast<std::size_t>(j) * k;
+      float acc = 0.0F;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+void im2col(const Tensor& x, const Conv2dGeometry& g, Tensor& cols) {
+  if (x.shape() != Shape{g.in_channels, g.in_h, g.in_w}) {
+    throw std::invalid_argument("im2col: input shape mismatch " +
+                                shape_to_string(x.shape()));
+  }
+  const int oh = g.out_h(), ow = g.out_w();
+  const Shape want{g.patch_size(), oh * ow};
+  if (cols.shape() != want) cols = Tensor(want);
+  float* cp = cols.data();
+  const float* xp = x.data();
+  const int hw = g.in_h * g.in_w;
+  for (int c = 0; c < g.in_channels; ++c) {
+    for (int ky = 0; ky < g.kernel; ++ky) {
+      for (int kx = 0; kx < g.kernel; ++kx) {
+        const int row = (c * g.kernel + ky) * g.kernel + kx;
+        float* crow = cp + static_cast<std::size_t>(row) * oh * ow;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * g.stride + ky - g.pad;
+          const bool y_ok = iy >= 0 && iy < g.in_h;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * g.stride + kx - g.pad;
+            const std::size_t out_idx =
+                static_cast<std::size_t>(oy) * ow + static_cast<std::size_t>(ox);
+            crow[out_idx] = (y_ok && ix >= 0 && ix < g.in_w)
+                                ? xp[c * hw + iy * g.in_w + ix]
+                                : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_accumulate(const Tensor& cols, const Conv2dGeometry& g,
+                       Tensor& dx) {
+  const int oh = g.out_h(), ow = g.out_w();
+  if (cols.shape() != Shape{g.patch_size(), oh * ow}) {
+    throw std::invalid_argument("col2im: cols shape mismatch");
+  }
+  if (dx.shape() != Shape{g.in_channels, g.in_h, g.in_w}) {
+    throw std::invalid_argument("col2im: output shape mismatch");
+  }
+  const float* cp = cols.data();
+  float* xp = dx.data();
+  const int hw = g.in_h * g.in_w;
+  for (int c = 0; c < g.in_channels; ++c) {
+    for (int ky = 0; ky < g.kernel; ++ky) {
+      for (int kx = 0; kx < g.kernel; ++kx) {
+        const int row = (c * g.kernel + ky) * g.kernel + kx;
+        const float* crow = cp + static_cast<std::size_t>(row) * oh * ow;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * g.stride + kx - g.pad;
+            if (ix < 0 || ix >= g.in_w) continue;
+            xp[c * hw + iy * g.in_w + ix] +=
+                crow[static_cast<std::size_t>(oy) * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void row_softmax(const Tensor& logits, Tensor& probs) {
+  if (logits.ndim() != 2) throw std::invalid_argument("row_softmax: 2-D only");
+  if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
+  const int n = logits.dim(0), c = logits.dim(1);
+  const float* lp = logits.data();
+  float* pp = probs.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = lp + static_cast<std::size_t>(i) * c;
+    float* out = pp + static_cast<std::size_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0F;
+    for (int j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0F / denom;
+    for (int j = 0; j < c; ++j) out[j] *= inv;
+  }
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             std::span<const int> labels, Tensor& grad) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: 2-D logits only");
+  }
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  row_softmax(logits, grad);
+  double loss = 0.0;
+  float* gp = grad.data();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    float* row = gp + static_cast<std::size_t>(i) * c;
+    loss -= std::log(std::max(row[y], 1e-12F));
+    row[y] -= 1.0F;
+    for (int j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  return loss / n;
+}
+
+int count_correct(const Tensor& logits, std::span<const int> labels) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("count_correct: 2-D logits only");
+  }
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int>(labels.size()) != n) {
+    throw std::invalid_argument("count_correct: label count mismatch");
+  }
+  const float* lp = logits.data();
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = lp + static_cast<std::size_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace helios::tensor

@@ -1,0 +1,125 @@
+// Free-function math kernels on Tensor.
+//
+// The masked matmul variants are the computational heart of soft-training:
+// a row mask over the weight matrix corresponds to a neuron (dense unit or
+// conv filter) being excluded from the current training cycle, and masked
+// rows are genuinely skipped, so the straggler's shrunk model costs
+// proportionally fewer FLOPs — the same accounting the virtual-time device
+// model uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace helios::tensor {
+
+/// Per-row activity mask; empty span means "all rows active".
+using RowMask = std::span<const std::uint8_t>;
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+/// dst += src (shapes must match).
+void add_inplace(Tensor& dst, const Tensor& src);
+/// dst -= src (shapes must match).
+void sub_inplace(Tensor& dst, const Tensor& src);
+/// dst *= s.
+void scale_inplace(Tensor& dst, float s);
+/// dst += s * src (axpy; shapes must match).
+void axpy_inplace(Tensor& dst, float s, const Tensor& src);
+/// Elementwise a + b.
+Tensor add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise a * b (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+double sum(const Tensor& t);
+double l1_norm(const Tensor& t);
+double l2_norm(const Tensor& t);
+float max_value(const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication (2-D only; C is resized/zeroed by the _into forms)
+// ---------------------------------------------------------------------------
+
+/// C = A[m,k] * B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[m,k] * B[k,n]; rows of C whose mask byte is 0 are left as zero
+/// and their dot products are skipped entirely.
+void matmul_masked_rows_into(const Tensor& a, const Tensor& b, RowMask mask,
+                             Tensor& c);
+
+/// C[k,n] += A^T[k,m] * B[m,n], restricted to active rows m of A and B.
+/// Used for dL/dx = W^T dY with inactive neurons removed.
+void matmul_tn_masked_accumulate(const Tensor& a, const Tensor& b,
+                                 RowMask mask, Tensor& c);
+
+/// C[m,n] = A[m,k] * B^T[n,k] — i.e. rows of A dotted with rows of B.
+/// Column mask (over n) skips inactive output units. Used for dense forward
+/// with x[m,k] and W[n,k].
+void matmul_nt_masked_cols_into(const Tensor& a, const Tensor& b, RowMask mask,
+                                Tensor& c);
+
+/// C[m,k] += A[m,n] * B[n,k], restricted to active n. Used for dense
+/// backward-to-input with dY[m,n], W[n,k].
+void matmul_nn_masked_inner_accumulate(const Tensor& a, const Tensor& b,
+                                       RowMask mask, Tensor& c);
+
+/// C[n,k] = A^T[n,m] * B[m,k] with row mask over n: dW = dY^T x for dense.
+void matmul_tn_masked_out_rows_into(const Tensor& a, const Tensor& b,
+                                    RowMask mask, Tensor& c);
+
+/// C[m,n] += A[m,k] * B^T[n,k], restricted to active rows m of A and C.
+/// Used for conv weight gradients: dW += dY * cols^T with filter mask.
+void matmul_nt_masked_rows_accumulate(const Tensor& a, const Tensor& b,
+                                      RowMask mask, Tensor& c);
+
+// ---------------------------------------------------------------------------
+// Convolution support (NCHW, per-sample im2col)
+// ---------------------------------------------------------------------------
+
+struct Conv2dGeometry {
+  int in_channels = 0;
+  int in_h = 0;
+  int in_w = 0;
+  int kernel = 0;  // square kernels
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  int patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// Unfolds one sample `x[C,H,W]` into `cols[patch_size, out_h*out_w]`.
+/// `cols` must be pre-shaped; zero-padding handled implicitly.
+void im2col(const Tensor& x, const Conv2dGeometry& g, Tensor& cols);
+
+/// Folds `cols[patch_size, out_h*out_w]` back into `dx[C,H,W]` (accumulates).
+void col2im_accumulate(const Tensor& cols, const Conv2dGeometry& g, Tensor& dx);
+
+// ---------------------------------------------------------------------------
+// Classification head
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax of logits[n, c] into probs (resized to match).
+void row_softmax(const Tensor& logits, Tensor& probs);
+
+/// Mean cross-entropy over the batch; fills `grad` with dL/dlogits
+/// ( (softmax - onehot) / n ). `labels` are class indices of length n.
+double softmax_cross_entropy(const Tensor& logits,
+                             std::span<const int> labels, Tensor& grad);
+
+/// Number of rows whose argmax equals the label.
+int count_correct(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace helios::tensor

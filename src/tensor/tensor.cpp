@@ -1,0 +1,147 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace helios::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) ss << ", ";
+    ss << shape[i];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  const int rank = ndim();
+  if (i < 0) i += rank;
+  if (i < 0 || i >= rank) {
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(i) +
+                            " for shape " + shape_to_string(shape_));
+  }
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::offset2(int i, int j) const {
+  assert(ndim() == 2);
+  assert(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+         static_cast<std::size_t>(j);
+}
+
+std::size_t Tensor::offset3(int i, int j, int k) const {
+  assert(ndim() == 3);
+  assert(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+         k < shape_[2]);
+  return (static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+          static_cast<std::size_t>(j)) *
+             static_cast<std::size_t>(shape_[2]) +
+         static_cast<std::size_t>(k);
+}
+
+std::size_t Tensor::offset4(int i, int j, int k, int l) const {
+  assert(ndim() == 4);
+  assert(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+         k < shape_[2] && l >= 0 && l < shape_[3]);
+  return ((static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+           static_cast<std::size_t>(j)) *
+              static_cast<std::size_t>(shape_[2]) +
+          static_cast<std::size_t>(k)) *
+             static_cast<std::size_t>(shape_[3]) +
+         static_cast<std::size_t>(l);
+}
+
+float& Tensor::at(int i) {
+  assert(ndim() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<std::size_t>(i)];
+}
+float Tensor::at(int i) const {
+  assert(ndim() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<std::size_t>(i)];
+}
+float& Tensor::at(int i, int j) { return data_[offset2(i, j)]; }
+float Tensor::at(int i, int j) const { return data_[offset2(i, j)]; }
+float& Tensor::at(int i, int j, int k) { return data_[offset3(i, j, k)]; }
+float Tensor::at(int i, int j, int k) const { return data_[offset3(i, j, k)]; }
+float& Tensor::at(int i, int j, int k, int l) {
+  return data_[offset4(i, j, k, l)];
+}
+float Tensor::at(int i, int j, int k, int l) const {
+  return data_[offset4(i, j, k, l)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("reshape: element count mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace helios::tensor

@@ -1,0 +1,90 @@
+// Dense float32 tensor with owning, contiguous, row-major storage.
+//
+// This is the numeric substrate under helios::nn. It is deliberately small:
+// fixed dtype (float), value semantics, explicit shape, and bounds-checked
+// accessors in debug builds. All heavy math lives in tensor/ops.h as free
+// functions so the container stays a plain value type.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace helios::tensor {
+
+/// Shape of a tensor; dimensions are non-negative (0 allowed for empties).
+using Shape = std::vector<int>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::size_t shape_numel(const Shape& shape);
+
+/// "(2, 3, 4)" — for error messages and debugging.
+std::string shape_to_string(const Shape& shape);
+
+/// Owning, contiguous, row-major float tensor.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of zero elements.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor wrapping a copy of `values`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// I.I.D. normal(0, stddev) entries.
+  static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0F);
+  /// I.I.D. uniform [lo, hi) entries.
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  /// Size of dimension `i`; negative `i` counts from the back.
+  int dim(int i) const;
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// Element accessors; index arity must match rank (asserted in debug).
+  float& at(int i);
+  float at(int i) const;
+  float& at(int i, int j);
+  float at(int i, int j) const;
+  float& at(int i, int j, int k);
+  float at(int i, int j, int k) const;
+  float& at(int i, int j, int k, int l);
+  float at(int i, int j, int k, int l) const;
+
+  /// Same storage, new shape; element count must be preserved.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reinterpretation of the shape; element count must be preserved.
+  void reshape(Shape new_shape);
+
+  void fill(float value);
+
+  /// True when shapes match and all elements are within `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5F) const;
+
+ private:
+  std::size_t offset2(int i, int j) const;
+  std::size_t offset3(int i, int j, int k) const;
+  std::size_t offset4(int i, int j, int k, int l) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace helios::tensor

@@ -1,0 +1,77 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in Helios (data synthesis, weight init, neuron
+// rotation, partitioners, ...) draws from an explicitly seeded Rng so that
+// experiments are reproducible bit-for-bit on a given build. The generator is
+// xoshiro256++ seeded through splitmix64, which gives high-quality streams
+// and cheap "forking" of statistically independent child generators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace helios::util {
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// Not thread-safe; give each logical actor (client, dataset, selector) its
+/// own instance, typically via fork().
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (caches the second draw).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n) (order randomized).
+  /// Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// A child generator whose stream is independent of this one.
+  /// Forking with distinct `stream` values yields distinct children even
+  /// without advancing the parent.
+  Rng fork(std::uint64_t stream);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace helios::util

@@ -1,0 +1,128 @@
+// Executable checks of the paper's Sec. V-B convergence analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/convergence.h"
+#include "util/rng.h"
+
+namespace helios::core {
+namespace {
+
+std::vector<double> random_magnitudes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> g(n);
+  for (double& v : g) v = std::fabs(rng.normal());
+  return g;
+}
+
+TEST(Convergence, ProbabilitiesMeetBudget) {
+  const auto g = random_magnitudes(200, 3);
+  for (double budget : {10.0, 50.0, 150.0}) {
+    const auto p = selection_probabilities(g, budget);
+    EXPECT_NEAR(expected_l0(p), budget, budget * 0.05);
+    for (double pi : p) {
+      EXPECT_GT(pi, 0.0);  // Sec. VI-A: p_i must never be 0
+      EXPECT_LE(pi, 1.0);
+    }
+  }
+}
+
+TEST(Convergence, LargestGradientsSaturateFirst) {
+  const std::vector<double> g{5.0, 4.0, 0.5, 0.1, 0.1, 0.1, 0.1, 0.1};
+  const auto p = selection_probabilities(g, 3.0);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_LT(p[3], 1.0);
+  EXPECT_EQ(count_certain(p), 2 + (p[2] >= 1.0 ? 1 : 0));
+}
+
+TEST(Convergence, VarianceInflationIsOneForDenseTraining) {
+  const auto g = random_magnitudes(64, 5);
+  const std::vector<double> ones(64, 1.0);
+  EXPECT_DOUBLE_EQ(variance_inflation(g, ones), 1.0);
+}
+
+TEST(Convergence, InflationDecreasesWithBudget) {
+  const auto g = random_magnitudes(300, 7);
+  const auto p_small = selection_probabilities(g, 30.0);
+  const auto p_large = selection_probabilities(g, 200.0);
+  EXPECT_GT(variance_inflation(g, p_small), variance_inflation(g, p_large));
+  EXPECT_GE(variance_inflation(g, p_large), 1.0);
+}
+
+TEST(Convergence, OptimalProbabilitiesBeatUniformAtEqualBudget) {
+  // The whole point of contribution-aware selection (Eq. 7): at the same
+  // expected cost, magnitude-proportional probabilities give a tighter
+  // variance than uniform random selection.
+  const auto g = random_magnitudes(500, 9);
+  const double budget = 75.0;
+  const auto p_opt = selection_probabilities(g, budget);
+  const std::vector<double> p_uni(500, budget / 500.0);
+  EXPECT_LT(variance_inflation(g, p_opt), variance_inflation(g, p_uni));
+}
+
+// Executable form of the Eq. 7 trade-off: the minimal expected budget that
+// achieves variance inflation <= 1 + eps, as a function of eps.
+double minimal_budget_for(const std::vector<double>& g, double eps) {
+  double lo = 1.0, hi = static_cast<double>(g.size());
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto p = selection_probabilities(g, mid);
+    if (variance_inflation(g, p) <= 1.0 + eps) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+TEST(Convergence, MinimalBudgetShrinksWithEpsilon) {
+  // Looser variance tolerance -> fewer neurons need to train (Eq. 7), and
+  // eps -> 0 forces nearly dense training.
+  const auto g = random_magnitudes(400, 11);
+  const double b_tight = minimal_budget_for(g, 0.05);
+  const double b_mid = minimal_budget_for(g, 0.5);
+  const double b_loose = minimal_budget_for(g, 2.0);
+  EXPECT_GT(b_tight, b_mid);
+  EXPECT_GT(b_mid, b_loose);
+  EXPECT_GT(b_tight, 200.0);  // eps=0.05 keeps most of 400 neurons
+  EXPECT_LT(b_loose, 200.0);
+}
+
+TEST(Convergence, HeavyTailedGradientsNeedFarFewerNeurons) {
+  // The regime soft-training exploits: when contribution is concentrated in
+  // a few neurons (top-P_s), a small budget already meets the variance
+  // condition — the paper's justification for P_s in [0.05, 0.1].
+  std::vector<double> heavy(400, 0.01);
+  for (int i = 0; i < 20; ++i) heavy[static_cast<std::size_t>(i)] = 5.0;
+  std::vector<double> flat(400, 1.0);
+  const double b_heavy = minimal_budget_for(heavy, 0.5);
+  const double b_flat = minimal_budget_for(flat, 0.5);
+  EXPECT_LT(b_heavy, 0.25 * b_flat);
+  // A budget slightly above the dominant count saturates exactly the
+  // dominant neurons (they become the certain set C_v).
+  const auto p = selection_probabilities(heavy, 25.0);
+  EXPECT_GE(count_certain(p), 20);
+  EXPECT_DOUBLE_EQ(l0_bound(20, 0.5), 30.0);
+}
+
+TEST(Convergence, InputValidation) {
+  const std::vector<double> g{1.0, 2.0};
+  EXPECT_THROW(selection_probabilities({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(selection_probabilities(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(selection_probabilities(g, 3.0), std::invalid_argument);
+  const std::vector<double> neg{-1.0, 1.0};
+  EXPECT_THROW(selection_probabilities(neg, 1.0), std::invalid_argument);
+  const std::vector<double> p{1.0};
+  EXPECT_THROW(variance_inflation(g, p), std::invalid_argument);
+  const std::vector<double> pz{0.0, 1.0};
+  EXPECT_THROW(variance_inflation(g, pz), std::invalid_argument);
+  EXPECT_THROW(l0_bound(-1, 0.0), std::invalid_argument);
+  EXPECT_THROW(l0_bound(1, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helios::core

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/loader.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace helios::data {
+namespace {
+
+TEST(Dataset, ValidateChecksConsistency) {
+  Dataset d;
+  d.images = Tensor({2, 1, 2, 2});
+  d.labels = {0, 1};
+  d.num_classes = 2;
+  EXPECT_NO_THROW(d.validate());
+  d.labels = {0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.labels = {0, 5};
+  EXPECT_THROW(d.validate(), std::out_of_range);
+}
+
+TEST(Dataset, SubsetPreservesContent) {
+  util::Rng rng(1);
+  SyntheticSpec spec;
+  spec.samples = 10;
+  spec.height = spec.width = 4;
+  spec.classes = 3;
+  Dataset d = make_synthetic(spec, rng);
+  const std::vector<std::size_t> idx{7, 2, 9};
+  Dataset s = subset(d, idx);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[0], d.labels[7]);
+  EXPECT_EQ(s.labels[2], d.labels[9]);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(s.images.at(1, 0, p / 4, p % 4), d.images.at(2, 0, p / 4, p % 4));
+  }
+  const std::vector<std::size_t> bad{10};
+  EXPECT_THROW(subset(d, bad), std::out_of_range);
+}
+
+TEST(Dataset, ClassHistogramSums) {
+  util::Rng rng(2);
+  SyntheticSpec spec;
+  spec.samples = 50;
+  spec.height = spec.width = 4;
+  spec.classes = 5;
+  Dataset d = make_synthetic(spec, rng);
+  auto hist = class_histogram(d);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), 0), 50);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.samples = 8;
+  spec.height = spec.width = 6;
+  util::Rng a(3), b(3);
+  Dataset d1 = make_synthetic(spec, a);
+  Dataset d2 = make_synthetic(spec, b);
+  EXPECT_TRUE(d1.images.allclose(d2.images));
+  EXPECT_EQ(d1.labels, d2.labels);
+}
+
+TEST(Synthetic, PrototypeSeedDefinesTask) {
+  SyntheticSpec spec;
+  spec.samples = 64;
+  spec.height = spec.width = 6;
+  spec.classes = 3;
+  spec.noise = 0.05F;  // nearly noiseless -> samples sit near prototypes
+  util::Rng a(4), b(5);
+  Dataset train = make_synthetic(spec, a);
+  Dataset test = make_synthetic(spec, b);
+  // Same prototype seed: a same-class train/test pair is much closer than a
+  // cross-class pair on average.
+  auto dist = [&](const Dataset& x, int i, const Dataset& y, int j) {
+    double s = 0.0;
+    for (int p = 0; p < 36; ++p) {
+      const double d = x.images.at(i, 0, p / 6, p % 6) -
+                       y.images.at(j, 0, p / 6, p % 6);
+      s += d * d;
+    }
+    return s;
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      if (train.labels[i] == test.labels[j]) {
+        same += dist(train, i, test, j);
+        ++same_n;
+      } else {
+        cross += dist(train, i, test, j);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same / same_n, 0.5 * cross / cross_n);
+}
+
+TEST(Synthetic, PresetsMatchPaperShapes) {
+  EXPECT_EQ(mnist_like_spec(10).channels, 1);
+  EXPECT_EQ(mnist_like_spec(10).height, 28);
+  EXPECT_EQ(cifar10_like_spec(10).channels, 3);
+  EXPECT_EQ(cifar10_like_spec(10).height, 32);
+  EXPECT_EQ(cifar100_like_spec(10).classes, 100);
+}
+
+TEST(Synthetic, RejectsBadSpec) {
+  util::Rng rng(6);
+  SyntheticSpec bad;
+  bad.samples = 0;
+  EXPECT_THROW(make_synthetic(bad, rng), std::invalid_argument);
+}
+
+TEST(Partition, IidIsExactAndBalanced) {
+  util::Rng rng(7);
+  auto p = partition_iid(103, 4, rng);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(is_exact_partition(p, 103));
+  for (const auto& part : p) {
+    EXPECT_GE(part.size(), 25u);
+    EXPECT_LE(part.size(), 26u);
+  }
+}
+
+TEST(Partition, ShardsAreExactAndSkewed) {
+  util::Rng rng(8);
+  // 200 samples, 10 classes sorted in blocks of 20.
+  std::vector<int> labels(200);
+  for (int i = 0; i < 200; ++i) labels[static_cast<std::size_t>(i)] = i / 20;
+  auto p = partition_shards(labels, 5, 2, rng);
+  EXPECT_TRUE(is_exact_partition(p, 200));
+  // Each client holds 2 shards of 20 -> at most ~3 distinct classes
+  // (shards can straddle a class boundary when unaligned; here they align).
+  for (const auto& part : p) {
+    std::set<int> classes;
+    for (auto idx : part) classes.insert(labels[idx]);
+    EXPECT_LE(classes.size(), 3u);
+  }
+}
+
+TEST(Partition, ShardsRejectTooFewSamples) {
+  util::Rng rng(9);
+  std::vector<int> labels(5, 0);
+  EXPECT_THROW(partition_shards(labels, 3, 2, rng), std::invalid_argument);
+}
+
+TEST(Partition, DirichletIsExact) {
+  util::Rng rng(10);
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    labels[i] = static_cast<int>(rng.uniform_int(6));
+  }
+  auto p = partition_dirichlet(labels, 5, 6, 0.3, rng);
+  EXPECT_TRUE(is_exact_partition(p, 300));
+}
+
+TEST(Partition, DirichletSkewIncreasesWithSmallBeta) {
+  util::Rng rng(11);
+  std::vector<int> labels(2000);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(rng.uniform_int(10));
+  }
+  auto skew_of = [&](double beta) {
+    util::Rng r2(12);
+    auto p = partition_dirichlet(labels, 4, 10, beta, r2);
+    // Mean over clients of the max class share.
+    double total = 0.0;
+    for (const auto& part : p) {
+      std::vector<int> hist(10, 0);
+      for (auto idx : part) ++hist[static_cast<std::size_t>(labels[idx])];
+      const int mx = *std::max_element(hist.begin(), hist.end());
+      total += part.empty() ? 0.0
+                            : static_cast<double>(mx) /
+                                  static_cast<double>(part.size());
+    }
+    return total / 4.0;
+  };
+  EXPECT_GT(skew_of(0.1), skew_of(100.0));
+}
+
+TEST(Partition, ExactnessDetectorCatchesErrors) {
+  Partition p{{0, 1}, {1, 2}};
+  EXPECT_FALSE(is_exact_partition(p, 3));  // 1 appears twice
+  Partition q{{0}, {2}};
+  EXPECT_FALSE(is_exact_partition(q, 3));  // 1 missing
+}
+
+TEST(Loader, CoversEpochExactlyOnce) {
+  util::Rng rng(13);
+  SyntheticSpec spec;
+  spec.samples = 23;
+  spec.height = spec.width = 4;
+  spec.classes = 2;
+  Dataset d = make_synthetic(spec, rng);
+  DataLoader loader(d, 5, util::Rng(14));
+  EXPECT_EQ(loader.batches_per_epoch(), 5);
+  int seen = 0;
+  for (int b = 0; b < loader.batches_per_epoch(); ++b) {
+    seen += loader.next().size();
+  }
+  EXPECT_EQ(seen, 23);
+}
+
+TEST(Loader, DropLastSkipsPartialBatch) {
+  util::Rng rng(15);
+  SyntheticSpec spec;
+  spec.samples = 23;
+  spec.height = spec.width = 4;
+  spec.classes = 2;
+  Dataset d = make_synthetic(spec, rng);
+  DataLoader loader(d, 5, util::Rng(16), /*drop_last=*/true);
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(loader.next().size(), 5);
+  }
+}
+
+TEST(Loader, BatchLabelsMatchImages) {
+  util::Rng rng(17);
+  SyntheticSpec spec;
+  spec.samples = 12;
+  spec.height = spec.width = 4;
+  spec.classes = 3;
+  spec.noise = 0.01F;
+  Dataset d = make_synthetic(spec, rng);
+  DataLoader loader(d, 4, util::Rng(18));
+  Batch b = loader.next();
+  // Each batch image must be bit-identical to some dataset image with the
+  // same label.
+  for (int i = 0; i < b.size(); ++i) {
+    bool found = false;
+    for (int j = 0; j < d.size(); ++j) {
+      if (d.labels[static_cast<std::size_t>(j)] != b.labels[static_cast<std::size_t>(i)]) continue;
+      bool same = true;
+      for (int p = 0; p < 16 && same; ++p) {
+        same = b.images.at(i, 0, p / 4, p % 4) ==
+               d.images.at(j, 0, p / 4, p % 4);
+      }
+      found |= same;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Loader, RejectsBadConstruction) {
+  util::Rng rng(19);
+  SyntheticSpec spec;
+  spec.samples = 4;
+  spec.height = spec.width = 4;
+  Dataset d = make_synthetic(spec, rng);
+  EXPECT_THROW(DataLoader(d, 0, util::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helios::data

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "device/cost_model.h"
+#include "device/resource.h"
+#include "device/virtual_clock.h"
+#include "models/zoo.h"
+
+namespace helios::device {
+namespace {
+
+TEST(Resource, PresetsAreValid) {
+  for (const auto& p : table1_stragglers()) {
+    EXPECT_TRUE(p.valid()) << p.name;
+  }
+  EXPECT_TRUE(jetson_nano_gpu().valid());
+  EXPECT_TRUE(edge_server().valid());
+}
+
+TEST(Resource, Table1ComputeOrdering) {
+  const auto s = table1_stragglers();
+  ASSERT_EQ(s.size(), 4u);
+  // Paper order: Nano 7 > Raspberry 6 > DeepLens GPU 5.5 > DeepLens CPU 4.5.
+  EXPECT_GT(s[0].compute_gflops, s[1].compute_gflops);
+  EXPECT_GT(s[1].compute_gflops, s[2].compute_gflops);
+  EXPECT_GT(s[2].compute_gflops, s[3].compute_gflops);
+}
+
+TEST(Resource, Table1CycleTimesMatchPaper) {
+  // Paper Table I: 20.6 / 23.8 / 27.2 / 34 minutes for AlexNet/CIFAR-10.
+  const double expected_minutes[4] = {20.6, 23.8, 27.2, 34.0};
+  const auto stragglers = table1_stragglers();
+  for (std::size_t i = 0; i < stragglers.size(); ++i) {
+    const WorkloadEstimate w =
+        paper_alexnet_cycle_workload(stragglers[i].memory_mb);
+    const double minutes = total_cycle_seconds(stragglers[i], w) / 60.0;
+    EXPECT_NEAR(minutes, expected_minutes[i], expected_minutes[i] * 0.06)
+        << stragglers[i].name;
+  }
+}
+
+TEST(Resource, SimScalingPreservesCompute) {
+  const ResourceProfile base = deeplens_cpu();
+  const ResourceProfile sim = sim_scaled(base, 25.0);
+  EXPECT_EQ(sim.compute_gflops, base.compute_gflops);
+  EXPECT_EQ(sim.mem_bandwidth_mbps, base.mem_bandwidth_mbps * 25.0);
+  EXPECT_EQ(sim.net_bandwidth_mbps, base.net_bandwidth_mbps * 25.0);
+  EXPECT_NE(sim.name, base.name);
+}
+
+TEST(CostModel, WorkloadScalesWithSamplesAndEpochs) {
+  nn::Model m = models::make_lenet({1, 28, 28, 10}, 1);
+  const auto w1 = estimate_workload(m, 100, 1);
+  const auto w2 = estimate_workload(m, 100, 2);
+  const auto w3 = estimate_workload(m, 200, 1);
+  EXPECT_NEAR(w2.train_gflops, 2.0 * w1.train_gflops, 1e-9);
+  EXPECT_NEAR(w3.train_gflops, 2.0 * w1.train_gflops, 1e-9);
+  EXPECT_GT(w1.upload_mb, 0.0);
+}
+
+TEST(CostModel, MaskReducesComputeAndUpload) {
+  nn::Model m = models::make_lenet({1, 28, 28, 10}, 2);
+  const auto full = estimate_workload(m, 100, 1);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(m.neuron_total()), 0);
+  for (std::size_t j = 0; j < mask.size(); j += 2) mask[j] = 1;
+  m.set_neuron_mask(mask);
+  const auto half = estimate_workload(m, 100, 1);
+  EXPECT_LT(half.train_gflops, full.train_gflops);
+  EXPECT_LT(half.upload_mb, full.upload_mb);
+  m.clear_neuron_mask();
+}
+
+TEST(CostModel, FasterDeviceFinishesSooner) {
+  nn::Model m = models::make_lenet({1, 28, 28, 10}, 3);
+  const auto w = estimate_workload(m, 128, 1);
+  const double fast = total_cycle_seconds(sim_scaled(edge_server()), w);
+  const double slow = total_cycle_seconds(sim_scaled(deeplens_cpu()), w);
+  EXPECT_LT(fast, slow);
+  // Compute gap dominates under sim scaling: ratio within [3, 15].
+  EXPECT_GT(slow / fast, 3.0);
+  EXPECT_LT(slow / fast, 15.0);
+}
+
+TEST(CostModel, DecomposesIntoTrainingPlusUpload) {
+  nn::Model m = models::make_lenet({1, 28, 28, 10}, 4);
+  const auto w = estimate_workload(m, 64, 1);
+  const ResourceProfile p = sim_scaled(raspberry_pi());
+  EXPECT_NEAR(total_cycle_seconds(p, w),
+              training_cycle_seconds(p, w) + upload_seconds(p, w), 1e-12);
+}
+
+TEST(CostModel, PeakMemoryPositiveAndMonotoneInBatch) {
+  nn::Model m = models::make_lenet({1, 28, 28, 10}, 5);
+  const double m1 = peak_memory_mb(m, 1);
+  const double m32 = peak_memory_mb(m, 32);
+  EXPECT_GT(m1, 0.0);
+  EXPECT_GT(m32, m1);
+  EXPECT_THROW(peak_memory_mb(m, 0), std::invalid_argument);
+}
+
+TEST(CostModel, RejectsInvalidInput) {
+  nn::Model m = models::make_mlp({1, 4, 4, 2}, 6, 4);
+  EXPECT_THROW(estimate_workload(m, -1, 1), std::invalid_argument);
+  WorkloadEstimate w;
+  ResourceProfile bad;
+  bad.compute_gflops = 0.0;
+  EXPECT_THROW(training_cycle_seconds(bad, w), std::invalid_argument);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  EXPECT_THROW(clock.advance(-1.0), std::invalid_argument);
+  EXPECT_THROW(clock.advance_to(4.0), std::invalid_argument);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace helios::device

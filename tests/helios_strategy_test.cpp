@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/helios_strategy.h"
+#include "fl/sync.h"
+#include "test_support.h"
+
+namespace helios::core {
+namespace {
+
+using helios::testing::FleetOptions;
+using helios::testing::make_fleet;
+
+TEST(HeliosStrategy, NameReflectsAblation) {
+  HeliosConfig cfg;
+  EXPECT_EQ(HeliosStrategy(cfg).name(), "Helios");
+  cfg.hetero_aggregation = false;
+  EXPECT_EQ(HeliosStrategy(cfg).name(), "S.T. Only");
+}
+
+TEST(HeliosStrategy, RunsRequestedCycles) {
+  fl::Fleet fleet = make_fleet();
+  HeliosStrategy strategy;
+  const fl::RunResult res = strategy.run(fleet, 4);
+  ASSERT_EQ(res.rounds.size(), 4u);
+  for (std::size_t i = 1; i < res.rounds.size(); ++i) {
+    EXPECT_GT(res.rounds[i].virtual_time, res.rounds[i - 1].virtual_time);
+  }
+}
+
+TEST(HeliosStrategy, FasterThanSyncInVirtualTime) {
+  fl::Fleet a = make_fleet();
+  fl::Fleet b = make_fleet();
+  const double sync_time = fl::SyncFL().run(a, 3).rounds.back().virtual_time;
+  const double helios_time = HeliosStrategy().run(b, 3).rounds.back().virtual_time;
+  EXPECT_LT(helios_time, sync_time);
+}
+
+TEST(HeliosStrategy, PaceAdaptationPullsStragglersTowardPace) {
+  FleetOptions o;
+  o.volume = 0.9;  // deliberately too large for the slow devices
+  fl::Fleet fleet = make_fleet(o);
+  HeliosConfig cfg;
+  cfg.pace_adaptation_cycles = 3;
+  HeliosStrategy strategy(cfg);
+  strategy.run(fleet, 4);
+  // After adaptation the straggler volume must have shrunk from 0.9.
+  for (auto* s : fleet.stragglers()) {
+    EXPECT_LT(s->volume(), 0.9);
+  }
+}
+
+TEST(HeliosStrategy, NoAdaptationKeepsVolumes) {
+  FleetOptions o;
+  o.volume = 0.4;
+  fl::Fleet fleet = make_fleet(o);
+  HeliosConfig cfg;
+  cfg.pace_adaptation_cycles = 0;
+  HeliosStrategy strategy(cfg);
+  strategy.run(fleet, 3);
+  for (auto* s : fleet.stragglers()) {
+    EXPECT_DOUBLE_EQ(s->volume(), 0.4);
+  }
+}
+
+TEST(HeliosStrategy, CycleHookRunsEveryCycle) {
+  fl::Fleet fleet = make_fleet();
+  HeliosStrategy strategy;
+  int calls = 0;
+  strategy.set_cycle_hook([&](fl::Fleet&, int) { ++calls; });
+  strategy.run(fleet, 5);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(HeliosStrategy, RotationKeepsWorstCaseStalenessBounded) {
+  FleetOptions o;
+  o.volume = 0.25;
+  fl::Fleet fleet = make_fleet(o);
+  HeliosConfig cfg;
+  cfg.pace_adaptation_cycles = 0;
+  HeliosStrategy strategy(cfg);
+
+  // Track per-cycle straggler masks via the hook + client inspection is not
+  // possible post-hoc, so run many cycles and verify convergence is not
+  // degenerate instead; the regulator unit tests cover staleness bounds.
+  const fl::RunResult res = strategy.run(fleet, 8);
+  EXPECT_EQ(res.rounds.size(), 8u);
+}
+
+TEST(HeliosStrategy, LearnsOnIidTask) {
+  FleetOptions o;
+  o.samples_per_client = 64;
+  fl::Fleet fleet = make_fleet(o);
+  HeliosStrategy strategy;
+  const fl::RunResult res = strategy.run(fleet, 12);
+  EXPECT_GT(res.final_accuracy(3), 1.5 / o.classes)
+      << "Helios failed to beat chance";
+}
+
+TEST(HeliosStrategy, StragglerUploadsShrink) {
+  // Straggler cycle time under Helios is below its full-model cycle time.
+  FleetOptions o;
+  o.volume = 0.3;
+  fl::Fleet fleet = make_fleet(o);
+  const double full = fleet.client(3).estimate_cycle_seconds({});
+  HeliosConfig cfg;
+  cfg.pace_adaptation_cycles = 0;
+  HeliosStrategy strategy(cfg);
+  const fl::RunResult res = strategy.run(fleet, 2);
+  // Round time = max participant; stragglers shrunk, so the round is
+  // strictly below the full straggler cycle.
+  EXPECT_LT(res.rounds[0].virtual_time, full);
+}
+
+}  // namespace
+}  // namespace helios::core

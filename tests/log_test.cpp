@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "util/log.h"
+
+namespace helios::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EmitBelowThresholdIsSilentlyDropped) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Nothing observable to assert on stderr here without capturing it; the
+  // contract is simply that these calls are safe at any level.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2.5);
+  log_warn("dropped");
+  set_log_level(LogLevel::kOff);
+  log_error("dropped even as error");
+  SUCCEED();
+}
+
+TEST(Log, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+}  // namespace
+}  // namespace helios::util

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fl/metrics.h"
+#include "fl/sync.h"
+#include "test_support.h"
+
+namespace helios::fl {
+namespace {
+
+RunResult sample_run() {
+  RunResult r;
+  r.method = "Helios";
+  r.rounds = {{0, 0.5, 0.2, 1.2, 3.0}, {1, 1.0, 0.6, 0.8, 3.0}};
+  return r;
+}
+
+TEST(MetricsCsv, SingleRunFormat) {
+  std::ostringstream os;
+  sample_run().write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cycle,virtual_time_s,test_accuracy"), std::string::npos);
+  EXPECT_NE(out.find("0,0.5,0.2,1.2,3"), std::string::npos);
+  EXPECT_NE(out.find("1,1,0.6,0.8,3"), std::string::npos);
+}
+
+TEST(MetricsCsv, ComparisonAlignsByCycle) {
+  RunResult a = sample_run();
+  RunResult b = sample_run();
+  b.method = "Syn. FL";
+  b.rounds.push_back({2, 1.5, 0.7, 0.5, 3.0});
+  std::ostringstream os;
+  RunResult::write_comparison_csv(os, {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cycle,Helios,Syn. FL"), std::string::npos);
+  // Cycle 2 exists only for run b: the Helios column is empty.
+  EXPECT_NE(out.find("2,,0.7"), std::string::npos);
+}
+
+TEST(SyncPartialParticipation, SamplesSubsetAndStillLearns) {
+  helios::testing::FleetOptions o;
+  o.clients = 4;
+  o.stragglers = 0;
+  o.samples_per_client = 64;
+  Fleet fleet = helios::testing::make_fleet(o);
+  SyncFL strategy(0.5);
+  EXPECT_EQ(strategy.name().substr(0, 10), "Syn. FL (C");
+  const RunResult res = strategy.run(fleet, 10);
+  EXPECT_EQ(res.rounds.size(), 10u);
+  EXPECT_GT(res.final_accuracy(3), 0.35);
+  // Half participation -> roughly half the per-cycle upload volume.
+  Fleet full_fleet = helios::testing::make_fleet(o);
+  const RunResult full = SyncFL().run(full_fleet, 10);
+  EXPECT_LT(res.total_upload_mb(), 0.7 * full.total_upload_mb());
+}
+
+TEST(SyncPartialParticipation, Validation) {
+  EXPECT_THROW(SyncFL(0.0), std::invalid_argument);
+  EXPECT_THROW(SyncFL(1.5), std::invalid_argument);
+}
+
+TEST(LrDecay, AppliedPerCycle) {
+  helios::testing::FleetOptions o;
+  o.clients = 1;
+  o.stragglers = 0;
+  Fleet fleet = helios::testing::make_fleet(o);
+  Client& c = fleet.client(0);
+  EXPECT_FLOAT_EQ(c.current_lr(), c.config().lr);
+  const auto base = fleet.server().global();
+  const auto buffers = fleet.server().global_buffers();
+  c.run_cycle(base, buffers, {});
+  // Default decay 1.0: unchanged.
+  EXPECT_FLOAT_EQ(c.current_lr(), c.config().lr);
+  EXPECT_EQ(c.cycles_completed(), 1);
+}
+
+TEST(LrDecay, GeometricSchedule) {
+  ClientConfig cfg;
+  cfg.lr = 0.1F;
+  cfg.lr_decay = 0.5F;
+  cfg.batch_size = 8;
+  Client c(0, models::mlp_spec({1, 8, 8, 4}, 16),
+           helios::testing::tiny_dataset(16), cfg,
+           device::sim_scaled(device::edge_server()));
+  const auto base = c.model().params_flat();
+  const auto buffers = c.model().buffers_flat();
+  EXPECT_FLOAT_EQ(c.current_lr(), 0.1F);
+  c.run_cycle(base, buffers, {});
+  EXPECT_FLOAT_EQ(c.current_lr(), 0.05F);
+  c.run_cycle(base, buffers, {});
+  EXPECT_FLOAT_EQ(c.current_lr(), 0.025F);
+}
+
+}  // namespace
+}  // namespace helios::fl

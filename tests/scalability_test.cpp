@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/scalability.h"
+#include "test_support.h"
+
+namespace helios::core {
+namespace {
+
+using helios::testing::FleetOptions;
+using helios::testing::make_fleet;
+
+fl::Fleet base_fleet() {
+  FleetOptions o;
+  o.clients = 3;
+  o.stragglers = 1;
+  return make_fleet(o);
+}
+
+TEST(Scalability, CapableJoinerAdmittedAsCapable) {
+  fl::Fleet fleet = base_fleet();
+  fl::ClientConfig cfg;
+  cfg.seed = 99;
+  fl::Client& joiner = fleet.add_client(
+      helios::testing::tiny_dataset(48), cfg,
+      device::sim_scaled(device::edge_server()));
+  ScalabilityManager mgr;
+  const AdmissionResult res = mgr.admit(fleet, joiner.id());
+  EXPECT_FALSE(res.straggler);
+  EXPECT_DOUBLE_EQ(res.volume, 1.0);
+  EXPECT_FALSE(joiner.is_straggler());
+  EXPECT_GT(res.pace_seconds, 0.0);
+}
+
+TEST(Scalability, SlowJoinerFlaggedAndShrunk) {
+  fl::Fleet fleet = base_fleet();
+  fl::ClientConfig cfg;
+  cfg.seed = 100;
+  fl::Client& joiner = fleet.add_client(
+      helios::testing::tiny_dataset(48), cfg,
+      device::sim_scaled(device::deeplens_cpu()));
+  ScalabilityManager mgr;
+  const AdmissionResult res = mgr.admit(fleet, joiner.id());
+  EXPECT_TRUE(res.straggler);
+  EXPECT_TRUE(joiner.is_straggler());
+  EXPECT_LT(res.volume, 1.0);
+  EXPECT_DOUBLE_EQ(joiner.volume(), res.volume);
+  EXPECT_GT(res.estimated_cycle_seconds, res.pace_seconds);
+}
+
+TEST(Scalability, ExistingStragglersUnaffectedByAdmission) {
+  fl::Fleet fleet = base_fleet();
+  const double existing_volume = fleet.client(2).volume();
+  fl::ClientConfig cfg;
+  cfg.seed = 101;
+  fl::Client& joiner = fleet.add_client(
+      helios::testing::tiny_dataset(48), cfg,
+      device::sim_scaled(device::deeplens_gpu()));
+  ScalabilityManager mgr;
+  mgr.admit(fleet, joiner.id());
+  EXPECT_DOUBLE_EQ(fleet.client(2).volume(), existing_volume);
+}
+
+TEST(Scalability, TimeBasedAdmissionAlsoWorks) {
+  fl::Fleet fleet = base_fleet();
+  fl::ClientConfig cfg;
+  cfg.seed = 102;
+  fl::Client& joiner = fleet.add_client(
+      helios::testing::tiny_dataset(48), cfg,
+      device::sim_scaled(device::deeplens_cpu()));
+  ScalabilityManager mgr(/*use_profiling=*/false);
+  const AdmissionResult res = mgr.admit(fleet, joiner.id());
+  EXPECT_TRUE(res.straggler);
+}
+
+TEST(Scalability, UnknownClientRejected) {
+  fl::Fleet fleet = base_fleet();
+  ScalabilityManager mgr;
+  EXPECT_THROW(mgr.admit(fleet, 77), std::invalid_argument);
+}
+
+TEST(Scalability, ValidatesConstruction) {
+  EXPECT_THROW(ScalabilityManager(true, 1.0), std::invalid_argument);
+  EXPECT_THROW(ScalabilityManager(true, 2.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helios::core

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/zoo.h"
+#include "nn/serialize.h"
+
+namespace helios::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresParamsAndBuffers) {
+  Model a = models::make_resnet18_lite({3, 8, 8, 4}, 51, 4, 1);
+  // Mutate buffers so the round trip is non-trivial.
+  auto buffers = a.buffers_flat();
+  for (float& v : buffers) v += 0.25F;
+  a.load_buffers(buffers);
+
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  save_checkpoint(a, path);
+
+  Model b = models::make_resnet18_lite({3, 8, 8, 4}, 99, 4, 1);
+  ASSERT_NE(a.params_flat(), b.params_flat());
+  load_checkpoint(b, path);
+  EXPECT_EQ(a.params_flat(), b.params_flat());
+  EXPECT_EQ(a.buffers_flat(), b.buffers_flat());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongArchitecture) {
+  Model a = models::make_mlp({1, 4, 4, 3}, 52, 8);
+  const std::string path = temp_path("ckpt_arch.bin");
+  save_checkpoint(a, path);
+  Model b = models::make_mlp({1, 4, 4, 3}, 52, 16);  // different hidden size
+  EXPECT_THROW(load_checkpoint(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = temp_path("ckpt_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  Model m = models::make_mlp({1, 4, 4, 3}, 53, 8);
+  EXPECT_THROW(load_checkpoint(m, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Model a = models::make_mlp({1, 4, 4, 3}, 54, 8);
+  const std::string path = temp_path("ckpt_trunc.bin");
+  save_checkpoint(a, path);
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  Model b = models::make_mlp({1, 4, 4, 3}, 54, 8);
+  EXPECT_THROW(load_checkpoint(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Model m = models::make_mlp({1, 4, 4, 3}, 55, 8);
+  EXPECT_THROW(load_checkpoint(m, "/nonexistent/dir/ckpt.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace helios::nn

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/soft_training.h"
+#include "models/zoo.h"
+
+namespace helios::core {
+namespace {
+
+nn::Model model_for_tests(std::uint64_t seed = 2) {
+  return models::make_lenet({1, 12, 12, 4}, seed);
+}
+
+TEST(SoftTrainer, ValidatesConfig) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig bad;
+  bad.keep_ratio = 0.0;
+  EXPECT_THROW(SoftTrainer(m, bad), std::invalid_argument);
+  bad.keep_ratio = 0.5;
+  bad.ps = 0.0;
+  EXPECT_THROW(SoftTrainer(m, bad), std::invalid_argument);
+}
+
+TEST(SoftTrainer, MaskMeetsPerLayerBudgets) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.3;
+  SoftTrainer st(m, cfg);
+  const auto mask = st.select_mask();
+  const auto ranges = fl::layer_ranges(m);
+  const auto budgets = fl::layer_budgets(ranges, 0.3);
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    int active = 0;
+    for (int j = 0; j < ranges[r].count; ++j) {
+      active += mask[static_cast<std::size_t>(ranges[r].begin + j)];
+    }
+    EXPECT_EQ(active, budgets[r]);
+  }
+  EXPECT_EQ(st.budget_total(),
+            std::accumulate(budgets.begin(), budgets.end(), 0));
+}
+
+TEST(SoftTrainer, TopContributorsAlwaysSelected) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.4;
+  cfg.ps = 0.1;
+  SoftTrainer st(m, cfg);
+
+  // Manufacture a contribution profile: neuron 0 of each layer dominant.
+  auto before = m.params_flat();
+  auto after = before;
+  const auto ranges = fl::layer_ranges(m);
+  for (const auto& r : ranges) {
+    const auto& n = m.neurons()[static_cast<std::size_t>(r.begin)];
+    for (const nn::FlatSlice& s : n.slices) {
+      for (std::size_t f = s.offset; f < s.offset + s.length; ++f) {
+        after[f] += 10.0F;
+      }
+    }
+  }
+  st.update_contributions(before, after, {});
+
+  // The dominant neuron must be in every subsequent selection.
+  for (int draw = 0; draw < 5; ++draw) {
+    const auto mask = st.select_mask();
+    for (const auto& r : ranges) {
+      EXPECT_EQ(mask[static_cast<std::size_t>(r.begin)], 1)
+          << "top-U neuron dropped in layer at " << r.begin;
+    }
+  }
+}
+
+TEST(SoftTrainer, RotationReachesEveryNeuron) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.3;
+  cfg.seed = 9;
+  SoftTrainer st(m, cfg);
+  std::vector<int> times_selected(static_cast<std::size_t>(m.neuron_total()), 0);
+  // With uniform (zero) contributions the random fill rotates; in enough
+  // cycles every neuron should join at least once.
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    const auto mask = st.select_mask();
+    for (std::size_t j = 0; j < mask.size(); ++j) {
+      times_selected[j] += mask[j];
+    }
+  }
+  for (std::size_t j = 0; j < times_selected.size(); ++j) {
+    EXPECT_GT(times_selected[j], 0) << "neuron " << j << " never trained";
+  }
+}
+
+TEST(SoftTrainer, ForcedNeuronsAreIncluded) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.2;
+  SoftTrainer st(m, cfg);
+  const std::vector<int> forced{3, 7, 40};
+  const auto mask = st.select_mask(forced);
+  for (int f : forced) {
+    EXPECT_EQ(mask[static_cast<std::size_t>(f)], 1);
+  }
+  const std::vector<int> out_of_range{m.neuron_total()};
+  EXPECT_THROW(st.select_mask(out_of_range), std::out_of_range);
+}
+
+TEST(SoftTrainer, UpdateContributionsOnlyForTrained) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.5;
+  SoftTrainer st(m, cfg);
+  auto before = m.params_flat();
+  auto after = before;
+  for (float& v : after) v += 1.0F;
+  std::vector<std::uint8_t> trained(static_cast<std::size_t>(m.neuron_total()), 0);
+  trained[5] = 1;
+  st.update_contributions(before, after, trained);
+  EXPECT_GT(st.contributions()[5], 0.0);
+  EXPECT_EQ(st.contributions()[6], 0.0);
+}
+
+TEST(SoftTrainer, ContributionIsMeanAbsChange) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  SoftTrainer st(m, cfg);
+  auto before = m.params_flat();
+  auto after = before;
+  const auto& n0 = m.neurons()[0];
+  for (const nn::FlatSlice& s : n0.slices) {
+    for (std::size_t f = s.offset; f < s.offset + s.length; ++f) {
+      after[f] += 2.0F;
+    }
+  }
+  st.update_contributions(before, after, {});
+  EXPECT_NEAR(st.contributions()[0], 2.0, 1e-5);
+}
+
+TEST(SoftTrainer, KeepRatioAdjustable) {
+  nn::Model m = model_for_tests();
+  SoftTrainerConfig cfg;
+  cfg.keep_ratio = 0.5;
+  SoftTrainer st(m, cfg);
+  const int full_budget = st.budget_total();
+  st.set_keep_ratio(0.25);
+  EXPECT_LT(st.budget_total(), full_budget);
+  EXPECT_THROW(st.set_keep_ratio(0.0), std::invalid_argument);
+}
+
+TEST(SoftTrainer, MaskSizeMismatchRejected) {
+  nn::Model m = model_for_tests();
+  SoftTrainer st(m, {});
+  auto params = m.params_flat();
+  std::vector<std::uint8_t> bad_mask(3, 1);
+  EXPECT_THROW(st.update_contributions(params, params, bad_mask),
+               std::invalid_argument);
+  std::vector<float> short_params(4);
+  EXPECT_THROW(st.update_contributions(short_params, params, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace helios::core

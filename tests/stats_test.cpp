@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace helios::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVariance) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.118033988749895, 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(Stats, MovingAverage) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto ma = moving_average(xs, 2);
+  ASSERT_EQ(ma.size(), 4u);
+  EXPECT_DOUBLE_EQ(ma[0], 1.0);
+  EXPECT_DOUBLE_EQ(ma[1], 1.5);
+  EXPECT_DOUBLE_EQ(ma[2], 2.5);
+  EXPECT_DOUBLE_EQ(ma[3], 3.5);
+}
+
+TEST(Stats, MovingAverageWindowOne) {
+  const std::vector<double> xs{5.0, 7.0};
+  const auto ma = moving_average(xs, 1);
+  EXPECT_DOUBLE_EQ(ma[0], 5.0);
+  EXPECT_DOUBLE_EQ(ma[1], 7.0);
+}
+
+TEST(Stats, FirstReaching) {
+  const std::vector<double> xs{0.1, 0.4, 0.3, 0.8, 0.9};
+  EXPECT_EQ(first_reaching(xs, 0.35), 1u);
+  EXPECT_EQ(first_reaching(xs, 0.85), 4u);
+  EXPECT_EQ(first_reaching(xs, 0.95), npos);
+}
+
+}  // namespace
+}  // namespace helios::util

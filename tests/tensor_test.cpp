@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace helios::tensor {
+namespace {
+
+TEST(Shape, NumelAndString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({5, 0}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "(2, 3)");
+  EXPECT_THROW(shape_numel({-1, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0F);
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.ndim(), 2);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0F);
+  EXPECT_EQ(t.at(0, 1), 2.0F);
+  EXPECT_EQ(t.at(1, 0), 3.0F);
+  EXPECT_EQ(t.at(1, 1), 4.0F);
+}
+
+TEST(Tensor, FromValuesSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, DimNegativeIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0F;
+  EXPECT_EQ(t.flat()[5], 9.0F);
+  Tensor u({2, 2, 2});
+  u.at(1, 0, 1) = 7.0F;
+  EXPECT_EQ(u.flat()[5], 7.0F);
+}
+
+TEST(Tensor, FourDimAccess) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 1.5F;
+  EXPECT_EQ(t.flat()[t.numel() - 1], 1.5F);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t.at(0, 5) = 3.0F;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.at(1, 1), 3.0F);
+  EXPECT_THROW(t.reshape({5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5F);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5F);
+  t.fill(-1.0F);
+  for (float v : t.flat()) EXPECT_EQ(v, -1.0F);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(3);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0F);
+  double s = 0.0, s2 = 0.0;
+  for (float v : t.flat()) {
+    s += v;
+    s2 += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(s / n, 0.0, 0.05);
+  EXPECT_NEAR(s2 / n, 4.0, 0.15);
+}
+
+TEST(Tensor, UniformBounds) {
+  util::Rng rng(4);
+  Tensor t = Tensor::uniform({1000}, rng, -2.0F, 3.0F);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {1, 2, 3, 4.00001F});
+  EXPECT_TRUE(a.allclose(b, 1e-3F));
+  EXPECT_FALSE(a.allclose(b, 1e-7F));
+  Tensor c({4}, {1, 2, 3, 4});
+  EXPECT_FALSE(a.allclose(c));  // shape mismatch
+}
+
+}  // namespace
+}  // namespace helios::tensor
