@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_straggler_issue.dir/bench_fig1_straggler_issue.cpp.o"
+  "CMakeFiles/bench_fig1_straggler_issue.dir/bench_fig1_straggler_issue.cpp.o.d"
+  "bench_fig1_straggler_issue"
+  "bench_fig1_straggler_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_straggler_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

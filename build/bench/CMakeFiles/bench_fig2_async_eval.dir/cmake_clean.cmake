@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_async_eval.dir/bench_fig2_async_eval.cpp.o"
+  "CMakeFiles/bench_fig2_async_eval.dir/bench_fig2_async_eval.cpp.o.d"
+  "bench_fig2_async_eval"
+  "bench_fig2_async_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_async_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/helios_bench_common.dir/bench_common.cpp.o.d"
+  "libhelios_bench_common.a"
+  "libhelios_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_join.dir/dynamic_join.cpp.o"
+  "CMakeFiles/dynamic_join.dir/dynamic_join.cpp.o.d"
+  "dynamic_join"
+  "dynamic_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

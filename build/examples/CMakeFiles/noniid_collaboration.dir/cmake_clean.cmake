@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noniid_collaboration.dir/noniid_collaboration.cpp.o"
+  "CMakeFiles/noniid_collaboration.dir/noniid_collaboration.cpp.o.d"
+  "noniid_collaboration"
+  "noniid_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noniid_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/helios_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/helios_strategy.cpp" "src/core/CMakeFiles/helios_core.dir/helios_strategy.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/helios_strategy.cpp.o.d"
+  "/root/repo/src/core/rotation.cpp" "src/core/CMakeFiles/helios_core.dir/rotation.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/rotation.cpp.o.d"
+  "/root/repo/src/core/scalability.cpp" "src/core/CMakeFiles/helios_core.dir/scalability.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/scalability.cpp.o.d"
+  "/root/repo/src/core/soft_training.cpp" "src/core/CMakeFiles/helios_core.dir/soft_training.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/soft_training.cpp.o.d"
+  "/root/repo/src/core/straggler_id.cpp" "src/core/CMakeFiles/helios_core.dir/straggler_id.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/straggler_id.cpp.o.d"
+  "/root/repo/src/core/target.cpp" "src/core/CMakeFiles/helios_core.dir/target.cpp.o" "gcc" "src/core/CMakeFiles/helios_core.dir/target.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/helios_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/helios_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/helios_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/helios_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/helios_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helios_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

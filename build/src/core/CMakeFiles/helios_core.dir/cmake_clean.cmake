@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_core.dir/convergence.cpp.o"
+  "CMakeFiles/helios_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/helios_core.dir/helios_strategy.cpp.o"
+  "CMakeFiles/helios_core.dir/helios_strategy.cpp.o.d"
+  "CMakeFiles/helios_core.dir/rotation.cpp.o"
+  "CMakeFiles/helios_core.dir/rotation.cpp.o.d"
+  "CMakeFiles/helios_core.dir/scalability.cpp.o"
+  "CMakeFiles/helios_core.dir/scalability.cpp.o.d"
+  "CMakeFiles/helios_core.dir/soft_training.cpp.o"
+  "CMakeFiles/helios_core.dir/soft_training.cpp.o.d"
+  "CMakeFiles/helios_core.dir/straggler_id.cpp.o"
+  "CMakeFiles/helios_core.dir/straggler_id.cpp.o.d"
+  "CMakeFiles/helios_core.dir/target.cpp.o"
+  "CMakeFiles/helios_core.dir/target.cpp.o.d"
+  "libhelios_core.a"
+  "libhelios_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_data.dir/dataset.cpp.o"
+  "CMakeFiles/helios_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/helios_data.dir/loader.cpp.o"
+  "CMakeFiles/helios_data.dir/loader.cpp.o.d"
+  "CMakeFiles/helios_data.dir/partition.cpp.o"
+  "CMakeFiles/helios_data.dir/partition.cpp.o.d"
+  "CMakeFiles/helios_data.dir/synthetic.cpp.o"
+  "CMakeFiles/helios_data.dir/synthetic.cpp.o.d"
+  "libhelios_data.a"
+  "libhelios_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

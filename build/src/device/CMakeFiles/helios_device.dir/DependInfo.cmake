@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cost_model.cpp" "src/device/CMakeFiles/helios_device.dir/cost_model.cpp.o" "gcc" "src/device/CMakeFiles/helios_device.dir/cost_model.cpp.o.d"
+  "/root/repo/src/device/resource.cpp" "src/device/CMakeFiles/helios_device.dir/resource.cpp.o" "gcc" "src/device/CMakeFiles/helios_device.dir/resource.cpp.o.d"
+  "/root/repo/src/device/virtual_clock.cpp" "src/device/CMakeFiles/helios_device.dir/virtual_clock.cpp.o" "gcc" "src/device/CMakeFiles/helios_device.dir/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/helios_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helios_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helios_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

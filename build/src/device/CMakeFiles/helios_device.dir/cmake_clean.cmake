@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_device.dir/cost_model.cpp.o"
+  "CMakeFiles/helios_device.dir/cost_model.cpp.o.d"
+  "CMakeFiles/helios_device.dir/resource.cpp.o"
+  "CMakeFiles/helios_device.dir/resource.cpp.o.d"
+  "CMakeFiles/helios_device.dir/virtual_clock.cpp.o"
+  "CMakeFiles/helios_device.dir/virtual_clock.cpp.o.d"
+  "libhelios_device.a"
+  "libhelios_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/afo.cpp" "src/fl/CMakeFiles/helios_fl.dir/afo.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/afo.cpp.o.d"
+  "/root/repo/src/fl/async.cpp" "src/fl/CMakeFiles/helios_fl.dir/async.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/async.cpp.o.d"
+  "/root/repo/src/fl/baselines.cpp" "src/fl/CMakeFiles/helios_fl.dir/baselines.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/baselines.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/helios_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/helios_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/fedprox.cpp" "src/fl/CMakeFiles/helios_fl.dir/fedprox.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/fedprox.cpp.o.d"
+  "/root/repo/src/fl/fleet.cpp" "src/fl/CMakeFiles/helios_fl.dir/fleet.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/fleet.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/helios_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/helios_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/submodel.cpp" "src/fl/CMakeFiles/helios_fl.dir/submodel.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/submodel.cpp.o.d"
+  "/root/repo/src/fl/sync.cpp" "src/fl/CMakeFiles/helios_fl.dir/sync.cpp.o" "gcc" "src/fl/CMakeFiles/helios_fl.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/helios_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/helios_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/helios_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/helios_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helios_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/helios_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_fl.dir/afo.cpp.o"
+  "CMakeFiles/helios_fl.dir/afo.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/async.cpp.o"
+  "CMakeFiles/helios_fl.dir/async.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/baselines.cpp.o"
+  "CMakeFiles/helios_fl.dir/baselines.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/client.cpp.o"
+  "CMakeFiles/helios_fl.dir/client.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/compression.cpp.o"
+  "CMakeFiles/helios_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/fedprox.cpp.o"
+  "CMakeFiles/helios_fl.dir/fedprox.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/fleet.cpp.o"
+  "CMakeFiles/helios_fl.dir/fleet.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/metrics.cpp.o"
+  "CMakeFiles/helios_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/server.cpp.o"
+  "CMakeFiles/helios_fl.dir/server.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/submodel.cpp.o"
+  "CMakeFiles/helios_fl.dir/submodel.cpp.o.d"
+  "CMakeFiles/helios_fl.dir/sync.cpp.o"
+  "CMakeFiles/helios_fl.dir/sync.cpp.o.d"
+  "libhelios_fl.a"
+  "libhelios_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_models.dir/zoo.cpp.o"
+  "CMakeFiles/helios_models.dir/zoo.cpp.o.d"
+  "libhelios_models.a"
+  "libhelios_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

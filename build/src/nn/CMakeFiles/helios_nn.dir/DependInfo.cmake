@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/helios_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/helios_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/helios_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/helios_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/helios_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/depthwise.cpp" "src/nn/CMakeFiles/helios_nn.dir/depthwise.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/depthwise.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/helios_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/helios_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/groupnorm.cpp" "src/nn/CMakeFiles/helios_nn.dir/groupnorm.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/groupnorm.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/helios_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/helios_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/helios_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/helios_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/helios_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/helios_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/helios_nn.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/helios_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/helios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

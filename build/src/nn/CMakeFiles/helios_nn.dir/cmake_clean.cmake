@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_nn.dir/activations.cpp.o"
+  "CMakeFiles/helios_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/adam.cpp.o"
+  "CMakeFiles/helios_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/helios_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/helios_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/dense.cpp.o"
+  "CMakeFiles/helios_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/depthwise.cpp.o"
+  "CMakeFiles/helios_nn.dir/depthwise.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/dropout.cpp.o"
+  "CMakeFiles/helios_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/flatten.cpp.o"
+  "CMakeFiles/helios_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/groupnorm.cpp.o"
+  "CMakeFiles/helios_nn.dir/groupnorm.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/layer.cpp.o"
+  "CMakeFiles/helios_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/model.cpp.o"
+  "CMakeFiles/helios_nn.dir/model.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/pool.cpp.o"
+  "CMakeFiles/helios_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/residual.cpp.o"
+  "CMakeFiles/helios_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/serialize.cpp.o"
+  "CMakeFiles/helios_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/helios_nn.dir/sgd.cpp.o"
+  "CMakeFiles/helios_nn.dir/sgd.cpp.o.d"
+  "libhelios_nn.a"
+  "libhelios_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

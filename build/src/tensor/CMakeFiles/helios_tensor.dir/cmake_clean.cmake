@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_tensor.dir/ops.cpp.o"
+  "CMakeFiles/helios_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/helios_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/helios_tensor.dir/tensor.cpp.o.d"
+  "libhelios_tensor.a"
+  "libhelios_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhelios_tensor.a"
+)

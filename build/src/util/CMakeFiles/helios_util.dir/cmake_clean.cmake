@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_util.dir/log.cpp.o"
+  "CMakeFiles/helios_util.dir/log.cpp.o.d"
+  "CMakeFiles/helios_util.dir/rng.cpp.o"
+  "CMakeFiles/helios_util.dir/rng.cpp.o.d"
+  "CMakeFiles/helios_util.dir/stats.cpp.o"
+  "CMakeFiles/helios_util.dir/stats.cpp.o.d"
+  "CMakeFiles/helios_util.dir/table.cpp.o"
+  "CMakeFiles/helios_util.dir/table.cpp.o.d"
+  "libhelios_util.a"
+  "libhelios_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

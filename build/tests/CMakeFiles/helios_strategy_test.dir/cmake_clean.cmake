@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_strategy_test.dir/helios_strategy_test.cpp.o"
+  "CMakeFiles/helios_strategy_test.dir/helios_strategy_test.cpp.o.d"
+  "helios_strategy_test"
+  "helios_strategy_test.pdb"
+  "helios_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_csv_test.dir/metrics_csv_test.cpp.o"
+  "CMakeFiles/metrics_csv_test.dir/metrics_csv_test.cpp.o.d"
+  "metrics_csv_test"
+  "metrics_csv_test.pdb"
+  "metrics_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_training_test.dir/soft_training_test.cpp.o"
+  "CMakeFiles/soft_training_test.dir/soft_training_test.cpp.o.d"
+  "soft_training_test"
+  "soft_training_test.pdb"
+  "soft_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_id_test.dir/straggler_id_test.cpp.o"
+  "CMakeFiles/straggler_id_test.dir/straggler_id_test.cpp.o.d"
+  "straggler_id_test"
+  "straggler_id_test.pdb"
+  "straggler_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

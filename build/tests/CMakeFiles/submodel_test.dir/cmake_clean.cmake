@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodel_test.dir/submodel_test.cpp.o"
+  "CMakeFiles/submodel_test.dir/submodel_test.cpp.o.d"
+  "submodel_test"
+  "submodel_test.pdb"
+  "submodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_test.dir/target_test.cpp.o"
+  "CMakeFiles/target_test.dir/target_test.cpp.o.d"
+  "target_test"
+  "target_test.pdb"
+  "target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
