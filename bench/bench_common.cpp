@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 
 #include "core/straggler_id.h"
@@ -12,6 +14,7 @@
 #include "fl/async.h"
 #include "fl/baselines.h"
 #include "fl/sync.h"
+#include "obs/telemetry.h"
 
 namespace helios::bench {
 
@@ -149,6 +152,9 @@ std::vector<fl::RunResult> run_methods(const TaskSpec& task,
                                        const FleetSetup& setup,
                                        const std::vector<std::string>& methods,
                                        std::ostream& log) {
+  // HELIOS_TELEMETRY=<prefix> dumps per-method trace/metrics/dashboard
+  // artifacts named <prefix>_<method>.*; unset means zero overhead.
+  const char* telemetry_prefix = std::getenv("HELIOS_TELEMETRY");
   std::vector<fl::RunResult> results;
   for (const std::string& method : methods) {
     log << "  running " << method << " on " << task.name << " ("
@@ -156,7 +162,25 @@ std::vector<fl::RunResult> run_methods(const TaskSpec& task,
         << " stragglers" << (setup.non_iid ? ", Non-IID" : "") << ")...\n"
         << std::flush;
     fl::Fleet fleet = build_fleet(task, setup);
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (telemetry_prefix && *telemetry_prefix) {
+      obs::TelemetryConfig cfg;
+      cfg.artifact_prefix = std::string(telemetry_prefix) + "_";
+      for (char c : method) {
+        cfg.artifact_prefix += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                                   ? static_cast<char>(std::tolower(
+                                         static_cast<unsigned char>(c)))
+                                   : '_';
+      }
+      sink = std::make_unique<obs::TelemetrySink>(cfg);
+      fleet.set_telemetry(sink.get());
+    }
     results.push_back(make_strategy(method)->run(fleet, task.cycles));
+    if (sink) {
+      sink->flush();
+      sink->render_dashboard(log);
+      fleet.set_telemetry(nullptr);
+    }
   }
   return results;
 }

@@ -6,6 +6,11 @@
 // volumes, and the resulting per-cycle schedule: where synchronous FedAvg
 // idles the capable devices, Helios equalizes the pace.
 //
+// The Helios run below records full telemetry: helios_run.trace.json is a
+// Chrome trace (open in Perfetto / chrome://tracing), helios_run.metrics.prom
+// a Prometheus text dump, helios_run.dashboard.json the per-device straggler
+// dashboard also rendered to stdout.
+//
 //   $ ./heterogeneous_fleet
 #include <iostream>
 
@@ -15,6 +20,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/sync.h"
+#include "obs/telemetry.h"
 #include "util/table.h"
 
 int main() {
@@ -105,7 +111,21 @@ int main() {
   fl::Fleet sync_fleet = prepared_fleet();
   fl::Fleet helios_fleet = prepared_fleet();
   const fl::RunResult sync = fl::SyncFL().run(sync_fleet, cycles);
+
+  obs::TelemetryConfig tcfg;
+  tcfg.artifact_prefix = "helios_run";
+  obs::TelemetrySink telemetry(tcfg);
+  helios_fleet.set_telemetry(&telemetry);
   const fl::RunResult helios = core::HeliosStrategy().run(helios_fleet, cycles);
+  helios_fleet.set_telemetry(nullptr);
+  telemetry.flush();
+
+  std::cout << "\nStraggler dashboard (Helios run):\n";
+  telemetry.render_dashboard(std::cout);
+  std::cout << "\nTelemetry artifacts: helios_run.trace.json (Perfetto), "
+               "helios_run.metrics.prom, helios_run.metrics.json, "
+               "helios_run.dashboard.json\n";
+
   std::cout << "\nAfter " << cycles << " cycles:\n"
             << "  Syn. FL: acc "
             << util::Table::num(sync.final_accuracy() * 100, 2) << "% in "

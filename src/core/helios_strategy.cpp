@@ -1,7 +1,10 @@
 #include "core/helios_strategy.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "obs/telemetry.h"
 
 namespace helios::core {
 
@@ -40,25 +43,33 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
   opts.per_neuron_merge = config_.hetero_aggregation;
   opts.alpha_damping = config_.alpha_damping;
 
+  obs::TelemetrySink* tel = fleet.telemetry();
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    HELIOS_TRACE_SPAN("helios.cycle", {{"cycle", cycle}});
+    if (tel) tel->set_cycle(cycle);
     if (cycle_hook_) cycle_hook_(fleet, cycle);
 
     // Phase 1: choose each straggler's submodel for this cycle.
     struct Planned {
       fl::Client* client;
       std::vector<std::uint8_t> mask;  // empty = full model
+      int forced = 0;                  // rotation-forced neuron count
     };
     std::vector<Planned> plan;
     plan.reserve(fleet.size());
-    for (auto& client : fleet.clients()) {
-      Planned p{client.get(), {}};
-      if (client->is_straggler() && client->volume() < 1.0) {
-        StragglerState& st = state_for(*client);
-        std::vector<int> forced;
-        if (config_.rotation_regulation) forced = st.regulator->overdue();
-        p.mask = st.trainer->select_mask(forced);
+    {
+      HELIOS_TRACE_SPAN("helios.select_submodels", {{"cycle", cycle}});
+      for (auto& client : fleet.clients()) {
+        Planned p{client.get(), {}, 0};
+        if (client->is_straggler() && client->volume() < 1.0) {
+          StragglerState& st = state_for(*client);
+          std::vector<int> forced;
+          if (config_.rotation_regulation) forced = st.regulator->overdue();
+          p.forced = static_cast<int>(forced.size());
+          p.mask = st.trainer->select_mask(forced);
+        }
+        plan.push_back(std::move(p));
       }
-      plan.push_back(std::move(p));
     }
 
     // Phase 2: local training (synchronous round; virtual times from the
@@ -92,6 +103,16 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
       st.trainer->update_contributions(global_before, updates[i].params,
                                        plan[i].mask);
       st.regulator->record_cycle(plan[i].mask);
+      if (tel) {
+        // Skipped-cycle distribution: neurons with C_s = 0 / 1 / 2 / >= 3.
+        std::array<int, 4> cs{0, 0, 0, 0};
+        const int m = st.regulator->neuron_total();
+        for (int j = 0; j < m; ++j) {
+          cs[static_cast<std::size_t>(
+              std::min(st.regulator->skipped_cycles(j), 3))]++;
+        }
+        tel->record_rotation(plan[i].client->id(), plan[i].forced, cs);
+      }
     }
     fleet.server().aggregate(updates, opts);
 
@@ -120,6 +141,12 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(plan.size()),
                              upload});
+    if (tel) {
+      const fl::RoundRecord& r = result.rounds.back();
+      tel->record_cycle_result(result.method, cycle, r.virtual_time,
+                               r.test_accuracy, r.mean_train_loss,
+                               r.upload_mb);
+    }
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace helios::core {
 
 RotationRegulator::RotationRegulator(int neuron_total, int budget_total)
@@ -22,6 +24,7 @@ void RotationRegulator::set_budget_total(int budget_total) {
 
 void RotationRegulator::record_cycle(
     std::span<const std::uint8_t> trained_mask) {
+  HELIOS_TRACE_SPAN("rotation.record_cycle", {{"neurons", skipped_.size()}});
   if (trained_mask.empty()) {
     for (int& s : skipped_) s = 0;
     return;

@@ -35,6 +35,8 @@ class RotationRegulator {
 
   int skipped_cycles(int neuron) const;
 
+  int neuron_total() const { return static_cast<int>(skipped_.size()); }
+
  private:
   std::vector<int> skipped_;
   double threshold_ = 0.0;

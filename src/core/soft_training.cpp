@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace helios::core {
 
 SoftTrainer::SoftTrainer(nn::Model& model, SoftTrainerConfig config)
@@ -35,6 +37,8 @@ int SoftTrainer::budget_total() const {
 
 std::vector<std::uint8_t> SoftTrainer::select_mask(
     std::span<const int> forced) {
+  HELIOS_TRACE_SPAN("soft_training.select_mask",
+                    {{"neurons", u_.size()}, {"forced", forced.size()}});
   std::vector<std::uint8_t> mask(u_.size(), 0);
   const auto budgets = fl::layer_budgets(ranges_, config_.keep_ratio);
 
@@ -100,6 +104,8 @@ std::vector<std::uint8_t> SoftTrainer::select_mask(
 void SoftTrainer::update_contributions(
     std::span<const float> before, std::span<const float> after,
     std::span<const std::uint8_t> trained_mask) {
+  HELIOS_TRACE_SPAN("soft_training.update_contributions",
+                    {{"neurons", neurons_.size()}});
   if (before.size() != after.size()) {
     throw std::invalid_argument("update_contributions: size mismatch");
   }

@@ -1,8 +1,11 @@
 #include "fl/afo.h"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+
+#include "obs/telemetry.h"
 
 namespace helios::fl {
 
@@ -55,15 +58,21 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
     start_client(i, fleet.clock().now());
   }
 
+  obs::TelemetrySink* tel = fleet.telemetry();
   int recorded = 0;
   double loss_acc = 0.0;
   double upload_acc = 0.0;
   int loss_count = 0;
   while (recorded < cycles && !queue.empty()) {
+    HELIOS_TRACE_SPAN("afo.completion", {{"cycle", recorded}});
     const Event ev = queue.top();
     queue.pop();
     fleet.clock().advance_to(ev.time);
     auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
+    if (tel) {
+      tel->set_virtual_time(
+          std::max(0.0, ev.time - fl.client->estimate_cycle_seconds({})));
+    }
 
     ClientUpdate update =
         fl.client->run_cycle(fl.base, fl.base_buffers, {});
@@ -80,6 +89,12 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
     if (fl.client->id() == reference_id) {
       result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
                                loss_acc / loss_count, upload_acc});
+      if (tel) {
+        const RoundRecord& r = result.rounds.back();
+        tel->record_cycle_result(result.method, recorded, r.virtual_time,
+                                 r.test_accuracy, r.mean_train_loss,
+                                 r.upload_mb);
+      }
       ++recorded;
       loss_acc = 0.0;
       upload_acc = 0.0;

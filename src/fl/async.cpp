@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
+
 namespace helios::fl {
 
 AsyncFL::AsyncFL(int straggler_period, double mix_beta)
@@ -62,15 +64,22 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
     start_client(i, fleet.clock().now());
   }
 
+  obs::TelemetrySink* tel = fleet.telemetry();
   int recorded = 0;
   double loss_acc = 0.0;
   double upload_acc = 0.0;
   int loss_count = 0;
   while (recorded < cycles && !queue.empty()) {
+    HELIOS_TRACE_SPAN("async.completion", {{"cycle", recorded}});
     const Event ev = queue.top();
     queue.pop();
     fleet.clock().advance_to(ev.time);
     auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
+    // The device finished *at* ev.time; backdate the sink so the Gantt slab
+    // covers the cycle it just spent training.
+    if (tel) {
+      tel->set_virtual_time(std::max(0.0, ev.time - fl.client->estimate_cycle_seconds({})));
+    }
 
     // Fixed-weight mixing, no staleness discount — the stale update of a
     // straggler overwrites recent progress proportionally to beta.
@@ -84,6 +93,12 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
       result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
                                loss_count ? loss_acc / loss_count : 0.0,
                                upload_acc});
+      if (tel) {
+        const RoundRecord& r = result.rounds.back();
+        tel->record_cycle_result(result.method, recorded, r.virtual_time,
+                                 r.test_accuracy, r.mean_train_loss,
+                                 r.upload_mb);
+      }
       ++recorded;
       loss_acc = 0.0;
       upload_acc = 0.0;
@@ -115,8 +130,11 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
     int started_cycle = 0;
   };
   std::unordered_map<int, StragglerState> state;
+  obs::TelemetrySink* tel = fleet.telemetry();
 
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    HELIOS_TRACE_SPAN("async.cycle", {{"cycle", cycle}});
+    if (tel) tel->set_cycle(cycle);
     // Start any idle straggler on the current global snapshot.
     for (Client* s : stragglers) {
       auto& st = state[s->id()];
@@ -162,6 +180,12 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(updates.size()),
                              upload});
+    if (tel) {
+      const RoundRecord& r = result.rounds.back();
+      tel->record_cycle_result(result.method, cycle, r.virtual_time,
+                               r.test_accuracy, r.mean_train_loss,
+                               r.upload_mb);
+    }
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "fl/submodel.h"
+#include "obs/telemetry.h"
 
 namespace helios::fl {
 namespace {
@@ -16,7 +17,10 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
   RunResult result;
   result.method = method;
   AggOptions opts;  // sample weighting, no hetero weights for baselines
+  obs::TelemetrySink* tel = fleet.telemetry();
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    HELIOS_TRACE_SPAN("baseline.cycle", {{"cycle", cycle}});
+    if (tel) tel->set_cycle(cycle);
     std::vector<ClientUpdate> updates;
     double round_seconds = 0.0;
     double loss = 0.0;
@@ -37,6 +41,12 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(fleet.size()),
                              upload});
+    if (tel) {
+      const RoundRecord& r = result.rounds.back();
+      tel->record_cycle_result(result.method, cycle, r.virtual_time,
+                               r.test_accuracy, r.mean_train_loss,
+                               r.upload_mb);
+    }
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "fl/client.h"
 
+#include "obs/telemetry.h"
 #include "tensor/ops.h"
 
 #include <algorithm>
@@ -35,6 +36,8 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
   if (work_scale <= 0.0 || work_scale > 1.0) {
     throw std::invalid_argument("run_cycle: work_scale out of (0, 1]");
   }
+  HELIOS_TRACE_SPAN("client.run_cycle", {{"device", id_}});
+  if (telemetry_) telemetry_->set_device(id_);
   opt_.set_lr(current_lr());
   model_.load_params(global_params);
   model_.load_buffers(global_buffers);
@@ -47,16 +50,20 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
   double loss_sum = 0.0;
   int batches = 0;
   int samples_processed = 0;
-  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
-    loader_.reset();
-    const int per_epoch = std::max(
-        1, static_cast<int>(loader_.batches_per_epoch() * work_scale));
-    for (int b = 0; b < per_epoch; ++b) {
-      data::Batch batch = loader_.next();
-      const nn::StepResult step = local_step(batch, global_params);
-      loss_sum += step.loss;
-      ++batches;
-      samples_processed += batch.size();
+  {
+    HELIOS_TRACE_SPAN("client.train",
+                      {{"device", id_}, {"epochs", config_.local_epochs}});
+    for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+      loader_.reset();
+      const int per_epoch = std::max(
+          1, static_cast<int>(loader_.batches_per_epoch() * work_scale));
+      for (int b = 0; b < per_epoch; ++b) {
+        data::Batch batch = loader_.next();
+        const nn::StepResult step = local_step(batch, global_params);
+        loss_sum += step.loss;
+        ++batches;
+        samples_processed += batch.size();
+      }
     }
   }
 
@@ -78,6 +85,19 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
 
   model_.clear_neuron_mask();
   ++cycles_completed_;
+
+  if (telemetry_) {
+    int trained = model_.neuron_total();
+    if (!neuron_mask.empty()) {
+      trained = 0;
+      for (auto b : neuron_mask) trained += (b != 0);
+    }
+    telemetry_->record_client_cycle(
+        id_, profile_.name, straggler_, volume_, trained,
+        model_.neuron_total(), update.train_seconds, update.upload_seconds,
+        update.upload_mb, update.mean_loss);
+    telemetry_->set_device(-1);
+  }
   return update;
 }
 

@@ -13,6 +13,10 @@
 #include "models/zoo.h"
 #include "nn/sgd.h"
 
+namespace helios::obs {
+class TelemetrySink;
+}
+
 namespace helios::fl {
 
 struct ClientConfig {
@@ -98,6 +102,11 @@ class Client {
   /// Effective learning rate for the next cycle.
   float current_lr() const;
 
+  /// Observability sink (set by Fleet::set_telemetry; may be null). The
+  /// client reports each completed cycle's time split and trained-neuron
+  /// count to it.
+  void set_telemetry(obs::TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   nn::StepResult local_step(const data::Batch& batch,
                             std::span<const float> global_params);
@@ -112,6 +121,7 @@ class Client {
   bool straggler_ = false;
   double volume_ = 1.0;
   int cycles_completed_ = 0;
+  obs::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace helios::fl

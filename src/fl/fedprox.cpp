@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
+
 namespace helios::fl {
 
 FedProx::FedProx(float mu, double min_work) : mu_(mu), min_work_(min_work) {
@@ -17,7 +19,10 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
   result.method = name();
   AggOptions opts;
   for (auto& client : fleet.clients()) client->set_proximal_mu(mu_);
+  obs::TelemetrySink* tel = fleet.telemetry();
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    HELIOS_TRACE_SPAN("fedprox.cycle", {{"cycle", cycle}});
+    if (tel) tel->set_cycle(cycle);
     std::vector<ClientUpdate> updates;
     updates.reserve(fleet.size());
     double round_seconds = 0.0;
@@ -42,6 +47,12 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(fleet.size()),
                              upload});
+    if (tel) {
+      const RoundRecord& r = result.rounds.back();
+      tel->record_cycle_result(result.method, cycle, r.virtual_time,
+                               r.test_accuracy, r.mean_train_loss,
+                               r.upload_mb);
+    }
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.h"
+
 namespace helios::fl {
 
 Fleet::Fleet(const models::ModelSpec& spec, data::Dataset test_set,
@@ -18,8 +20,17 @@ Client& Fleet::add_client(data::Dataset local_data, ClientConfig config,
   if (client->model().param_count() != server_.param_count()) {
     throw std::logic_error("Fleet: client/server parameter count mismatch");
   }
+  client->set_telemetry(telemetry_);
   clients_.push_back(std::move(client));
   return *clients_.back();
+}
+
+void Fleet::set_telemetry(obs::TelemetrySink* sink) {
+  if (telemetry_ && telemetry_ != sink) telemetry_->uninstall();
+  telemetry_ = sink;
+  server_.set_telemetry(sink);
+  for (auto& c : clients_) c->set_telemetry(sink);
+  if (sink) sink->install();
 }
 
 std::vector<Client*> Fleet::stragglers() {

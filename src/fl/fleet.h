@@ -7,6 +7,10 @@
 #include "fl/client.h"
 #include "fl/server.h"
 
+namespace helios::obs {
+class TelemetrySink;
+}
+
 namespace helios::fl {
 
 class Fleet {
@@ -36,12 +40,21 @@ class Fleet {
 
   double evaluate() { return server_.evaluate_accuracy(test_set_); }
 
+  /// One-line observability opt-in: threads `sink` through the server and
+  /// every (current and future) client, and installs it globally so the
+  /// HELIOS_TRACE_SPAN macros in the nn kernels and strategies see it.
+  /// Pass nullptr to detach. The sink must outlive the fleet (or be
+  /// detached first); the fleet does not own it.
+  void set_telemetry(obs::TelemetrySink* sink);
+  obs::TelemetrySink* telemetry() const { return telemetry_; }
+
  private:
   models::ModelSpec spec_;
   Server server_;
   data::Dataset test_set_;
   std::vector<std::unique_ptr<Client>> clients_;
   device::VirtualClock clock_;
+  obs::TelemetrySink* telemetry_ = nullptr;
   int next_id_ = 0;
 };
 

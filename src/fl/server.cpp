@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
+
 namespace helios::fl {
 
 Server::Server(nn::Model reference) : model_(std::move(reference)) {
@@ -34,6 +36,7 @@ void Server::set_global_buffers(std::vector<float> buffers) {
 void Server::aggregate(std::span<const ClientUpdate> updates,
                        const AggOptions& opts) {
   if (updates.empty()) return;
+  HELIOS_TRACE_SPAN("server.aggregate", {{"updates", updates.size()}});
   const std::size_t p = global_.size();
   const int m = neuron_total();
   const auto& neurons = model_.neurons();
@@ -72,6 +75,19 @@ void Server::aggregate(std::span<const ClientUpdate> updates,
     neuron_w[i] = w;
     if (opts.alpha_scope == AggOptions::AlphaScope::kWholeUpdate) {
       common_w[i] = w;
+    }
+  }
+
+  // Report the exact weights this aggregation uses: r_n as uploaded, alpha
+  // as each update's share of the neuron-owned weight mass (shares sum to 1
+  // over the cycle's participants).
+  if (telemetry_) {
+    double weight_sum = 0.0;
+    for (double w : neuron_w) weight_sum += w;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      telemetry_->record_aggregation_weight(
+          updates[i].client_id, updates[i].trained_fraction(m),
+          weight_sum > 0.0 ? neuron_w[i] / weight_sum : 0.0);
     }
   }
 
@@ -152,6 +168,7 @@ void Server::mix(const ClientUpdate& update, double alpha) {
 double Server::evaluate_accuracy(const data::Dataset& test, int batch) {
   if (batch <= 0) throw std::invalid_argument("evaluate_accuracy: batch <= 0");
   if (test.size() == 0) return 0.0;
+  HELIOS_TRACE_SPAN("server.evaluate", {{"samples", test.size()}});
   model_.clear_neuron_mask();
   model_.load_params(global_);
   model_.load_buffers(buffers_);

@@ -9,6 +9,10 @@
 #include "fl/client.h"
 #include "nn/model.h"
 
+namespace helios::obs {
+class TelemetrySink;
+}
+
 namespace helios::fl {
 
 struct AggOptions {
@@ -74,12 +78,18 @@ class Server {
   /// Top-1 accuracy of the global model on `test`.
   double evaluate_accuracy(const data::Dataset& test, int batch = 128);
 
+  /// Observability sink (set by Fleet::set_telemetry; may be null).
+  /// aggregate() reports each update's trained fraction r_n and its
+  /// normalized weight share alpha_n to it.
+  void set_telemetry(obs::TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   nn::Model model_;
   std::vector<float> global_;
   std::vector<float> buffers_;
   /// 1 where the flat parameter belongs to some neuron, 0 for common params.
   std::vector<std::uint8_t> neuron_owned_;
+  obs::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace helios::fl

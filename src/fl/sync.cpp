@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace helios::fl {
@@ -25,7 +26,10 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
   result.method = name();
   AggOptions opts;  // plain sample-weighted FedAvg
   util::Rng rng(seed_);
+  obs::TelemetrySink* tel = fleet.telemetry();
   for (int cycle = 0; cycle < cycles; ++cycle) {
+    HELIOS_TRACE_SPAN("sync.cycle", {{"cycle", cycle}});
+    if (tel) tel->set_cycle(cycle);
     // Sample this cycle's participants.
     std::vector<Client*> participants;
     if (participation_ >= 1.0) {
@@ -60,6 +64,12 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(participants.size()),
                              upload});
+    if (tel) {
+      const RoundRecord& r = result.rounds.back();
+      tel->record_cycle_result(result.method, cycle, r.virtual_time,
+                               r.test_accuracy, r.mean_train_loss,
+                               r.upload_mb);
+    }
   }
   return result;
 }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace helios::nn {
 
 using tensor::Shape;
@@ -44,6 +46,8 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
                                 tensor::shape_to_string(x.shape()));
   }
   if (training) cached_input_ = x;
+  HELIOS_TRACE_SPAN("conv2d.forward",
+                    {{"out_c", out_channels_}, {"n", x.dim(0)}});
   const int n = x.dim(0);
   const int oh = geometry_.out_h(), ow = geometry_.out_w();
   const int plane = oh * ow;
@@ -81,6 +85,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   if (cached_input_.empty()) {
     throw std::logic_error(name() + ": backward before training forward");
   }
+  HELIOS_TRACE_SPAN("conv2d.backward",
+                    {{"out_c", out_channels_}, {"n", cached_input_.dim(0)}});
   const int n = cached_input_.dim(0);
   const int oh = geometry_.out_h(), ow = geometry_.out_w();
   const int plane = oh * ow;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace helios::nn {
@@ -35,6 +36,8 @@ Tensor Dense::forward(const Tensor& x, bool training) {
                                 tensor::shape_to_string(x.shape()));
   }
   if (training) cached_input_ = x;
+  HELIOS_TRACE_SPAN("dense.forward",
+                    {{"in", in_features_}, {"out", out_features_}});
   Tensor y({x.dim(0), out_features_});
   tensor::matmul_nt_masked_cols_into(x, weight_, mask_, y);
   float* yp = y.data();
@@ -57,6 +60,8 @@ Tensor Dense::backward(const Tensor& grad_out) {
       Shape{cached_input_.dim(0), out_features_}) {
     throw std::invalid_argument(name() + ": bad grad shape");
   }
+  HELIOS_TRACE_SPAN("dense.backward",
+                    {{"in", in_features_}, {"out", out_features_}});
   // dW += dY^T x restricted to active output rows.
   Tensor dw({out_features_, in_features_});
   tensor::matmul_tn_masked_out_rows_into(grad_out, cached_input_, mask_, dw);

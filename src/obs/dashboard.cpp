@@ -1,0 +1,66 @@
+#include "obs/dashboard.h"
+
+#include "obs/metrics.h"  // json_escape
+#include "util/table.h"
+
+namespace helios::obs {
+
+DeviceStats StragglerDashboard::device(int device_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = devices_.find(device_id);
+  return it != devices_.end() ? it->second : DeviceStats{};
+}
+
+std::size_t StragglerDashboard::device_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.size();
+}
+
+void StragglerDashboard::render(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Table table({"device", "role", "volume", "cycles", "r_n", "alpha_n",
+                     "forced", "C_s 0/1/2/3+", "compute (s)", "comm (s)",
+                     "upload (MB)"});
+  for (const auto& [id, d] : devices_) {
+    const std::string cs = std::to_string(d.cs_hist[0]) + "/" +
+                           std::to_string(d.cs_hist[1]) + "/" +
+                           std::to_string(d.cs_hist[2]) + "/" +
+                           std::to_string(d.cs_hist[3]);
+    table.add_row({d.name.empty() ? std::to_string(id) : d.name,
+                   d.straggler ? "straggler" : "capable",
+                   util::Table::num(d.volume, 2), std::to_string(d.cycles),
+                   util::Table::num(d.r_n, 3), util::Table::num(d.alpha_n, 3),
+                   std::to_string(d.forced_neurons), cs,
+                   util::Table::num(d.compute_seconds, 3),
+                   util::Table::num(d.comm_seconds, 3),
+                   util::Table::num(d.upload_mb, 2)});
+  }
+  table.print(os);
+}
+
+void StragglerDashboard::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "[\n";
+  bool first = true;
+  for (const auto& [id, d] : devices_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"device_id\":" << id << ",\"name\":\"";
+    json_escape(os, d.name);
+    os << "\",\"straggler\":" << (d.straggler ? "true" : "false")
+       << ",\"volume\":" << d.volume << ",\"cycles\":" << d.cycles
+       << ",\"trained_neurons\":" << d.trained_neurons
+       << ",\"neuron_total\":" << d.neuron_total << ",\"r_n\":" << d.r_n
+       << ",\"mean_r_n\":" << d.mean_r_n() << ",\"alpha_n\":" << d.alpha_n
+       << ",\"forced_neurons\":" << d.forced_neurons
+       << ",\"cs_hist\":[" << d.cs_hist[0] << ',' << d.cs_hist[1] << ','
+       << d.cs_hist[2] << ',' << d.cs_hist[3] << ']'
+       << ",\"compute_seconds\":" << d.compute_seconds
+       << ",\"comm_seconds\":" << d.comm_seconds
+       << ",\"upload_mb\":" << d.upload_mb
+       << ",\"last_loss\":" << d.last_loss << '}';
+  }
+  os << "\n]\n";
+}
+
+}  // namespace helios::obs

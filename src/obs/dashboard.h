@@ -1,0 +1,77 @@
+// Per-device straggler dashboard (paper Secs. IV-VI as *observed*, not as
+// configured): for every device the trained-neuron fraction r_n it actually
+// uploaded, the aggregation weight share alpha_n the server actually used,
+// rotation-regulation pressure (forced neuron count, skipped-cycle C_s
+// distribution), and the virtual-time split between compute and
+// communication. Rendered as a util::Table for the console and as JSON next
+// to the CSV traces.
+#pragma once
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace helios::obs {
+
+/// Accumulated per-device run statistics. All times are virtual seconds.
+struct DeviceStats {
+  int device_id = -1;
+  std::string name;          // resource profile name, when known
+  bool straggler = false;
+  double volume = 1.0;       // last expected model volume P
+
+  // Client-side, accumulated by run_cycle.
+  int cycles = 0;
+  int trained_neurons = 0;   // last cycle
+  int neuron_total = 0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double upload_mb = 0.0;
+  double last_loss = 0.0;
+
+  // Server-side, recorded by aggregation (Eq. 10).
+  double r_n = 1.0;          // last trained fraction used by aggregate()
+  double r_n_sum = 0.0;      // for the run mean
+  int r_n_count = 0;
+  double alpha_n = 0.0;      // last normalized weight share (sums to 1)
+
+  // Rotation regulation: cumulative forced pull-backs and the latest
+  // skipped-cycle distribution (neurons with C_s = 0, 1, 2, >= 3).
+  long long forced_neurons = 0;
+  std::array<int, 4> cs_hist{0, 0, 0, 0};
+
+  double mean_r_n() const {
+    return r_n_count > 0 ? r_n_sum / r_n_count : r_n;
+  }
+};
+
+/// Thread-safe collection of DeviceStats keyed by device id.
+class StragglerDashboard {
+ public:
+  /// Mutates under the dashboard lock; callers use the returned reference
+  /// only within the update lambda passed to `update`.
+  template <typename Fn>
+  void update(int device_id, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceStats& d = devices_[device_id];
+    d.device_id = device_id;
+    fn(d);
+  }
+
+  /// Copy of a device's stats (zero-valued default if never seen).
+  DeviceStats device(int device_id) const;
+  std::size_t device_count() const;
+
+  /// Console rendering via util::Table.
+  void render(std::ostream& os) const;
+  /// Machine-readable dump, one object per device.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, DeviceStats> devices_;  // ordered by device id
+};
+
+}  // namespace helios::obs

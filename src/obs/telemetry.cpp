@@ -1,0 +1,181 @@
+#include "obs/telemetry.h"
+
+#include <string>
+
+#include "util/log.h"
+
+namespace helios::obs {
+namespace {
+
+std::atomic<TelemetrySink*> g_sink{nullptr};
+
+std::string device_label(int device) { return std::to_string(device); }
+
+}  // namespace
+
+TelemetrySink* global_sink() {
+  return g_sink.load(std::memory_order_relaxed);
+}
+
+TelemetrySink::TelemetrySink(TelemetryConfig config)
+    : config_(std::move(config)) {
+  if (config_.tracing) {
+    if (!config_.artifact_prefix.empty()) {
+      trace_file_ = std::make_unique<std::ofstream>(
+          config_.artifact_prefix + ".trace.json");
+      tracer_ = std::make_unique<TraceWriter>(*trace_file_);
+    } else {
+      tracer_ = std::make_unique<TraceWriter>(trace_buffer_);
+    }
+    tracer_->name_process(1, "helios (wall clock)");
+    tracer_->name_process(2, "helios (virtual time)");
+  }
+}
+
+TelemetrySink::~TelemetrySink() {
+  uninstall();
+  flush();
+}
+
+void TelemetrySink::install() {
+  g_sink.store(this, std::memory_order_release);
+  set_active_tracer(tracer_.get());
+  util::set_log_context_provider([this]() -> std::string {
+    const int cycle = cycle_.load(std::memory_order_relaxed);
+    const int device = device_.load(std::memory_order_relaxed);
+    std::string out;
+    if (cycle >= 0) out += "cycle=" + std::to_string(cycle);
+    if (device >= 0) {
+      if (!out.empty()) out += ' ';
+      out += "device=" + std::to_string(device);
+    }
+    return out;
+  });
+}
+
+void TelemetrySink::uninstall() {
+  if (g_sink.load(std::memory_order_acquire) != this) return;
+  g_sink.store(nullptr, std::memory_order_release);
+  if (active_tracer() == tracer_.get()) set_active_tracer(nullptr);
+  util::set_log_context_provider(nullptr);
+}
+
+void TelemetrySink::set_virtual_time(double seconds) {
+  virtual_time_.store(seconds, std::memory_order_relaxed);
+  if (tracer_) tracer_->set_virtual_time(seconds);
+  metrics_.gauge("helios.run.virtual_time_seconds").set(seconds);
+}
+
+void TelemetrySink::record_client_cycle(
+    int device, std::string_view profile_name, bool straggler, double volume,
+    int trained_neurons, int neuron_total, double train_seconds,
+    double upload_seconds, double upload_mb, double mean_loss) {
+  const LabelSet labels{{"device", device_label(device)}};
+  metrics_.counter("helios.client.cycles_total", labels).add(1.0);
+  metrics_.counter("helios.client.upload_mb_total", labels).add(upload_mb);
+  metrics_.histogram("helios.client.train_seconds", labels)
+      .observe(train_seconds);
+  metrics_.histogram("helios.client.upload_seconds", labels)
+      .observe(upload_seconds);
+  metrics_.gauge("helios.client.volume", labels).set(volume);
+  metrics_.gauge("helios.client.mean_loss", labels).set(mean_loss);
+
+  dashboard_.update(device, [&](DeviceStats& d) {
+    if (d.name.empty()) d.name = std::string(profile_name);
+    d.straggler = straggler;
+    d.volume = volume;
+    ++d.cycles;
+    d.trained_neurons = trained_neurons;
+    d.neuron_total = neuron_total;
+    d.compute_seconds += train_seconds;
+    d.comm_seconds += upload_seconds;
+    d.upload_mb += upload_mb;
+    d.last_loss = mean_loss;
+  });
+
+  // Virtual-time Gantt: one "train" + one "upload" slab per cycle on the
+  // device's track, starting at the sink's current virtual time (set by the
+  // strategy when the cycle began).
+  if (tracer_) {
+    const double start_us = virtual_time() * 1e6;
+    tracer_->complete("train", device, start_us, train_seconds * 1e6,
+                      {{"device", device}, {"loss", mean_loss}});
+    tracer_->complete("upload", device, start_us + train_seconds * 1e6,
+                      upload_seconds * 1e6,
+                      {{"device", device}, {"mb", upload_mb}});
+    if (!profile_name.empty()) {
+      tracer_->name_thread(device, profile_name, /*pid=*/2);
+    }
+  }
+}
+
+void TelemetrySink::record_aggregation_weight(int device, double r_n,
+                                              double alpha_share) {
+  const LabelSet labels{{"device", device_label(device)}};
+  metrics_.gauge("helios.server.r_n", labels).set(r_n);
+  metrics_.gauge("helios.server.alpha_share", labels).set(alpha_share);
+  dashboard_.update(device, [&](DeviceStats& d) {
+    d.r_n = r_n;
+    d.r_n_sum += r_n;
+    ++d.r_n_count;
+    d.alpha_n = alpha_share;
+  });
+}
+
+void TelemetrySink::record_rotation(int device, int forced_count,
+                                    const std::array<int, 4>& cs_hist) {
+  const LabelSet labels{{"device", device_label(device)}};
+  metrics_.counter("helios.rotation.forced_total", labels)
+      .add(static_cast<double>(forced_count));
+  // C_s is small and integer-valued; log-scale buckets starting at 1 with
+  // growth 2 give exact 0/1/2-ish resolution where it matters.
+  metrics_.histogram("helios.rotation.skipped_cycles", labels,
+                     HistogramOptions{1.0, 2.0, 6})
+      .observe(static_cast<double>(cs_hist[1] + cs_hist[2] + cs_hist[3]));
+  dashboard_.update(device, [&](DeviceStats& d) {
+    d.forced_neurons += forced_count;
+    d.cs_hist = cs_hist;
+  });
+}
+
+void TelemetrySink::record_cycle_result(std::string_view strategy, int cycle,
+                                        double virtual_time, double accuracy,
+                                        double mean_loss, double upload_mb) {
+  set_cycle(cycle);
+  set_virtual_time(virtual_time);
+  const LabelSet labels{{"strategy", std::string(strategy)}};
+  metrics_.counter("helios.run.cycles_total", labels).add(1.0);
+  metrics_.gauge("helios.run.accuracy", labels).set(accuracy);
+  metrics_.gauge("helios.run.mean_loss", labels).set(mean_loss);
+  metrics_.counter("helios.run.upload_mb_total", labels).add(upload_mb);
+  if (tracer_) {
+    tracer_->instant("cycle.complete",
+                     {{"cycle", cycle},
+                      {"accuracy", accuracy},
+                      {"strategy", strategy}});
+  }
+}
+
+void TelemetrySink::flush() {
+  if (tracer_) tracer_->close();
+  if (flushed_ || config_.artifact_prefix.empty()) return;
+  flushed_ = true;
+  const std::string& p = config_.artifact_prefix;
+  {
+    std::ofstream os(p + ".metrics.json");
+    metrics_.write_json(os);
+  }
+  {
+    std::ofstream os(p + ".metrics.prom");
+    metrics_.write_prometheus(os);
+  }
+  {
+    std::ofstream os(p + ".dashboard.json");
+    dashboard_.write_json(os);
+  }
+  if (trace_file_) trace_file_->flush();
+}
+
+std::string TelemetrySink::trace_text() const { return trace_buffer_.str(); }
+
+}  // namespace helios::obs

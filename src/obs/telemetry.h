@@ -1,0 +1,145 @@
+// TelemetrySink — the one handle a run needs for observability.
+//
+// Bundles the three pillars:
+//   * MetricsRegistry   — counters / gauges / histograms, exported as JSON
+//                         and Prometheus text,
+//   * TraceWriter       — Chrome trace_event JSONL (chrome://tracing,
+//                         Perfetto), wall-clock spans + a virtual-time
+//                         device Gantt,
+//   * StragglerDashboard — the per-device r_n / alpha_n / rotation / time
+//                         split table.
+//
+// Opt-in is one line: construct a sink and hand it to the fleet —
+//
+//   obs::TelemetrySink telemetry(obs::TelemetryConfig{.artifact_prefix =
+//                                                     "helios_run"});
+//   fleet.set_telemetry(&telemetry);
+//   ...
+//   telemetry.flush();   // writes <prefix>.trace.json/.metrics.json/
+//                        // .metrics.prom/.dashboard.json
+//
+// Fleet::set_telemetry installs the sink globally so the HELIOS_TRACE_SPAN
+// macros in the nn kernels and strategies see it. With no sink installed,
+// every instrumentation point reduces to a relaxed atomic load and a branch.
+#pragma once
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/dashboard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace helios::obs {
+
+struct TelemetryConfig {
+  /// Emit trace events (spans, instants, virtual-time Gantt).
+  bool tracing = true;
+  /// When non-empty, artifacts land in <prefix>.trace.json,
+  /// <prefix>.metrics.json, <prefix>.metrics.prom, <prefix>.dashboard.json.
+  /// When empty, the trace accumulates in memory (see trace_text()).
+  std::string artifact_prefix;
+};
+
+class TelemetrySink {
+ public:
+  TelemetrySink() : TelemetrySink(TelemetryConfig{}) {}
+  explicit TelemetrySink(TelemetryConfig config);
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  StragglerDashboard& dashboard() { return dashboard_; }
+  TraceWriter* tracer() { return tracer_.get(); }
+
+  /// Makes this sink the process-global one: HELIOS_TRACE_SPAN targets its
+  /// tracer and util::log lines gain cycle/device context. Fleet calls this
+  /// from set_telemetry; idempotent.
+  void install();
+  /// Clears the global hooks if they point at this sink.
+  void uninstall();
+
+  /// Simulation time, attached to trace events and the run gauges. The
+  /// strategies set it as their cycle loop advances the fleet clock.
+  void set_virtual_time(double seconds);
+  double virtual_time() const {
+    return virtual_time_.load(std::memory_order_relaxed);
+  }
+
+  /// Log-context fields (shown on every util::log line while installed).
+  void set_cycle(int cycle) {
+    cycle_.store(cycle, std::memory_order_relaxed);
+  }
+  void set_device(int device) {
+    device_.store(device, std::memory_order_relaxed);
+  }
+
+  // ---- Recorders called from the instrumented layers ----
+
+  /// Client::run_cycle completion: updates the dashboard's client-side
+  /// columns, the per-device metrics, and draws the cycle on the
+  /// virtual-time Gantt track.
+  void record_client_cycle(int device, std::string_view profile_name,
+                           bool straggler, double volume, int trained_neurons,
+                           int neuron_total, double train_seconds,
+                           double upload_seconds, double upload_mb,
+                           double mean_loss);
+
+  /// Server::aggregate per-update weights: r_n is the trained fraction of
+  /// Eq. 10, alpha_share the normalized weight actually applied (shares sum
+  /// to 1 across a cycle's participants).
+  void record_aggregation_weight(int device, double r_n, double alpha_share);
+
+  /// Rotation regulation snapshot: how many neurons were force-included
+  /// this cycle and the current skipped-cycle distribution
+  /// (C_s = 0 / 1 / 2 / >= 3).
+  void record_rotation(int device, int forced_count,
+                       const std::array<int, 4>& cs_hist);
+
+  /// One strategy cycle completed (accuracy evaluated).
+  void record_cycle_result(std::string_view strategy, int cycle,
+                           double virtual_time, double accuracy,
+                           double mean_loss, double upload_mb);
+
+  // ---- Exports ----
+
+  void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }
+  void write_metrics_prometheus(std::ostream& os) const {
+    metrics_.write_prometheus(os);
+  }
+  void write_dashboard_json(std::ostream& os) const {
+    dashboard_.write_json(os);
+  }
+  void render_dashboard(std::ostream& os) const { dashboard_.render(os); }
+
+  /// Closes the trace and, when an artifact prefix is configured, writes
+  /// the metrics / dashboard files. Safe to call more than once.
+  void flush();
+
+  /// In-memory trace contents (only when no artifact prefix was given).
+  std::string trace_text() const;
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  StragglerDashboard dashboard_;
+  std::unique_ptr<std::ofstream> trace_file_;
+  std::ostringstream trace_buffer_;
+  std::unique_ptr<TraceWriter> tracer_;
+  std::atomic<double> virtual_time_{0.0};
+  std::atomic<int> cycle_{-1};
+  std::atomic<int> device_{-1};
+  bool flushed_ = false;
+};
+
+/// Globally installed sink (nullptr when telemetry is off). Deep layers
+/// that cannot be handed a sink explicitly read this.
+TelemetrySink* global_sink();
+
+}  // namespace helios::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"  // json_escape
+
+namespace helios::obs {
+namespace {
+
+std::atomic<TraceWriter*> g_tracer{nullptr};
+
+/// Small dense thread ids for the "tid" field (std::thread::id is opaque).
+int this_thread_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void write_number(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+void write_args(std::ostream& os, const TraceArg* args, std::size_t n,
+                bool with_vt, double vt) {
+  os << "\"args\":{";
+  bool first = true;
+  if (with_vt) {
+    os << "\"vt\":";
+    write_number(os, vt);
+    first = false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, args[i].key);
+    os << "\":";
+    switch (args[i].kind) {
+      case TraceArg::Kind::kInt: os << args[i].i; break;
+      case TraceArg::Kind::kDouble: write_number(os, args[i].d); break;
+      case TraceArg::Kind::kString:
+        os << '"';
+        json_escape(os, args[i].s);
+        os << '"';
+        break;
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+TraceWriter* active_tracer() {
+  return g_tracer.load(std::memory_order_relaxed);
+}
+
+void set_active_tracer(TraceWriter* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+TraceWriter::TraceWriter(std::ostream& os)
+    : os_(os), epoch_(std::chrono::steady_clock::now()) {
+  os_ << "[\n";
+}
+
+TraceWriter::~TraceWriter() {
+  close();
+  if (active_tracer() == this) set_active_tracer(nullptr);
+}
+
+double TraceWriter::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceWriter::set_virtual_time(double seconds) {
+  virtual_time_.store(seconds, std::memory_order_relaxed);
+}
+
+void TraceWriter::event(std::string_view name, char phase, int pid, int tid,
+                        double ts_us, const double* dur_us,
+                        const TraceArg* args, std::size_t n_args,
+                        bool with_vt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  os_ << "{\"name\":\"";
+  json_escape(os_, name);
+  os_ << "\",\"ph\":\"" << phase << "\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"ts\":";
+  write_number(os_, ts_us);
+  if (dur_us) {
+    os_ << ",\"dur\":";
+    write_number(os_, *dur_us);
+  }
+  if (phase == 'i') os_ << ",\"s\":\"t\"";
+  os_ << ',';
+  write_args(os_, args, n_args, with_vt,
+             virtual_time_.load(std::memory_order_relaxed));
+  os_ << '}';
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceWriter::begin(std::string_view name,
+                        std::initializer_list<TraceArg> args) {
+  event(name, 'B', 1, this_thread_tid(), now_us(), nullptr, args.begin(),
+        args.size(), /*with_vt=*/true);
+}
+
+void TraceWriter::end() {
+  event("", 'E', 1, this_thread_tid(), now_us(), nullptr, nullptr, 0,
+        /*with_vt=*/false);
+}
+
+void TraceWriter::complete(std::string_view name, int tid, double ts_us,
+                           double dur_us,
+                           std::initializer_list<TraceArg> args) {
+  event(name, 'X', 2, tid, ts_us, &dur_us, args.begin(), args.size(),
+        /*with_vt=*/false);
+}
+
+void TraceWriter::instant(std::string_view name,
+                          std::initializer_list<TraceArg> args) {
+  event(name, 'i', 1, this_thread_tid(), now_us(), nullptr, args.begin(),
+        args.size(), /*with_vt=*/true);
+}
+
+void TraceWriter::metadata(std::string_view meta_name, int pid, int tid,
+                           std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  os_ << "{\"name\":\"" << meta_name << "\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+  json_escape(os_, value);
+  os_ << "\"}}";
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceWriter::name_thread(int tid, std::string_view name, int pid) {
+  metadata("thread_name", pid, tid, name);
+}
+
+void TraceWriter::name_process(int pid, std::string_view name) {
+  metadata("process_name", pid, 0, name);
+}
+
+void TraceWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  os_ << "\n]\n";
+  os_.flush();
+}
+
+}  // namespace helios::obs

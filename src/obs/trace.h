@@ -1,0 +1,154 @@
+// Scoped tracing in Chrome trace_event format.
+//
+// A TraceWriter emits one JSON event per line ("JSON Array Format" with a
+// leading '[', so the file loads directly in chrome://tracing and Perfetto
+// even when the process exits without closing it). Spans are RAII:
+//
+//   HELIOS_TRACE_SPAN("client.run_cycle", {{"device", id}});
+//
+// writes a Begin event now and the matching End event at scope exit, on the
+// calling thread's track. Events carry wall-clock timestamps ("ts", in
+// microseconds since the writer was created) and, when the owning sink has
+// one, the simulation's virtual-clock time as a "vt" argument.
+//
+// Disabled path: when no tracer is installed (`active_tracer()` returns
+// nullptr — one relaxed atomic load), HELIOS_TRACE_SPAN constructs a dead
+// span and performs no clock read, no allocation, and no I/O. Argument
+// expressions in the macro ARE still evaluated, so keep them to integers /
+// pointers / string literals on hot paths.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+namespace helios::obs {
+
+/// One key/value trace argument. Non-owning: string values must outlive the
+/// call (string literals and interned names in practice).
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  constexpr TraceArg(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(std::string_view k, long v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(std::string_view k, long long v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(std::string_view k, std::size_t v)
+      : key(k), kind(Kind::kInt), i(static_cast<long long>(v)) {}
+  constexpr TraceArg(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr TraceArg(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), s(v) {}
+  constexpr TraceArg(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), s(v) {}
+
+  std::string_view key;
+  Kind kind;
+  long long i = 0;
+  double d = 0.0;
+  std::string_view s;
+};
+
+/// Serializes trace events to a stream. Thread-safe (one mutex per writer;
+/// tracing is for insight, not for the disabled-path fast case).
+class TraceWriter {
+ public:
+  /// Writes to `os` (not owned; must outlive the writer). Emits the opening
+  /// '[' immediately.
+  explicit TraceWriter(std::ostream& os);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Begin ("B") / End ("E") duration events on the calling thread's track.
+  void begin(std::string_view name, std::initializer_list<TraceArg> args);
+  void end();
+
+  /// Complete ("X") event on an explicit track with explicit microsecond
+  /// timestamps — used to draw the *virtual-time* Gantt chart of a round
+  /// (one track per device) next to the wall-clock tracks.
+  void complete(std::string_view name, int tid, double ts_us, double dur_us,
+                std::initializer_list<TraceArg> args);
+
+  /// Instant ("i") event, e.g. cycle boundaries.
+  void instant(std::string_view name, std::initializer_list<TraceArg> args);
+
+  /// Labels a tid so Perfetto shows device names instead of numbers. Wall
+  /// clock tracks live in pid 1, the virtual-time device Gantt in pid 2.
+  void name_thread(int tid, std::string_view name, int pid = 1);
+  void name_process(int pid, std::string_view name);
+
+  /// Wall-clock microseconds since construction.
+  double now_us() const;
+
+  /// Virtual-clock seconds attached to subsequent events as "vt".
+  void set_virtual_time(double seconds);
+  double virtual_time() const {
+    return virtual_time_.load(std::memory_order_relaxed);
+  }
+
+  /// Terminates the JSON array; further events are dropped.
+  void close();
+
+  std::uint64_t event_count() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void event(std::string_view name, char phase, int pid, int tid,
+             double ts_us, const double* dur_us, const TraceArg* args,
+             std::size_t n_args, bool with_vt);
+  void metadata(std::string_view meta_name, int pid, int tid,
+                std::string_view value);
+
+  std::ostream& os_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<double> virtual_time_{0.0};
+  std::atomic<std::uint64_t> events_{0};
+  bool closed_ = false;
+  bool first_ = true;
+};
+
+/// Globally installed tracer (nullptr = tracing disabled). The install is
+/// done by TelemetrySink; kernels and strategies only ever read it.
+TraceWriter* active_tracer();
+void set_active_tracer(TraceWriter* tracer);
+
+/// RAII duration span; dead (no-op) when constructed with a null writer.
+class TraceSpan {
+ public:
+  TraceSpan(TraceWriter* writer, std::string_view name,
+            std::initializer_list<TraceArg> args = {})
+      : writer_(writer) {
+    if (writer_) writer_->begin(name, args);
+  }
+  ~TraceSpan() {
+    if (writer_) writer_->end();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceWriter* writer_;
+};
+
+#define HELIOS_OBS_CONCAT_IMPL(a, b) a##b
+#define HELIOS_OBS_CONCAT(a, b) HELIOS_OBS_CONCAT_IMPL(a, b)
+
+/// Scoped trace span tied to the globally installed tracer. Usage:
+///   HELIOS_TRACE_SPAN("server.aggregate");
+///   HELIOS_TRACE_SPAN("client.run_cycle", {{"device", id}});
+#define HELIOS_TRACE_SPAN(name, ...)                                    \
+  ::helios::obs::TraceSpan HELIOS_OBS_CONCAT(helios_trace_span_,        \
+                                             __LINE__)(                 \
+      ::helios::obs::active_tracer(), name __VA_OPT__(, ) __VA_ARGS__)
+
+}  // namespace helios::obs

@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace helios::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// The provider is swapped rarely (telemetry install/uninstall) but read on
+// every emitted line; a mutex keeps the std::function swap safe.
+std::mutex g_context_mu;
+std::function<std::string()> g_context;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,9 +30,20 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_context_provider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(g_context_mu);
+  g_context = std::move(provider);
+}
+
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level.load() || level == LogLevel::kOff) return;
-  std::cerr << "[helios:" << level_name(level) << "] " << message << '\n';
+  std::string context;
+  {
+    std::lock_guard<std::mutex> lock(g_context_mu);
+    if (g_context) context = g_context();
+  }
+  std::cerr << "[helios:" << level_name(level) << "] ";
+  if (!context.empty()) std::cerr << '[' << context << "] ";
+  std::cerr << message << '\n';
 }
 
 }  // namespace helios::util

@@ -2,6 +2,7 @@
 // logger exists for progress lines and debugging, defaulting to warnings.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,8 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `message` to stderr when `level` passes the threshold.
+/// Emits `message` to stderr unconditionally — the threshold check lives in
+/// the log_xxx helpers (once, before the message is even concatenated).
+/// Call directly only when the level has already been checked.
 void log(LogLevel level, const std::string& message);
+
+/// Optional context hook: when set, every emitted line carries the
+/// provider's string (e.g. "cycle=3 device=1" from the telemetry sink).
+/// An empty provider result adds nothing; a null function clears the hook.
+void set_log_context_provider(std::function<std::string()> provider);
 
 namespace detail {
 template <typename... Args>

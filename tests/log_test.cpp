@@ -40,5 +40,30 @@ TEST(Log, ConcatFormatsMixedTypes) {
   EXPECT_EQ(detail::concat(), "");
 }
 
+TEST(Log, ContextProviderPrefixesEmittedLines) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  set_log_context_provider([] { return std::string("cycle=3 device=1"); });
+  ::testing::internal::CaptureStderr();
+  log_info("hello");
+  const std::string with_context = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(with_context.find("[cycle=3 device=1]"), std::string::npos)
+      << with_context;
+  EXPECT_NE(with_context.find("hello"), std::string::npos);
+
+  // An empty provider result adds no prefix; a null provider clears it.
+  set_log_context_provider([] { return std::string(); });
+  ::testing::internal::CaptureStderr();
+  log_info("plain");
+  // Only the level tag, no second context bracket.
+  EXPECT_EQ(::testing::internal::GetCapturedStderr().find("] ["),
+            std::string::npos);
+  set_log_context_provider(nullptr);
+  ::testing::internal::CaptureStderr();
+  log_info("cleared");
+  const std::string cleared = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(cleared.find("cleared"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace helios::util

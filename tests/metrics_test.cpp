@@ -1,0 +1,74 @@
+// RunResult edge cases: empty and short traces must stay well-defined (the
+// tail windows clamp instead of reading out of range).
+#include <gtest/gtest.h>
+
+#include "fl/metrics.h"
+
+namespace helios {
+namespace {
+
+fl::RunResult make_run(std::initializer_list<double> accuracies) {
+  fl::RunResult r;
+  r.method = "test";
+  int cycle = 0;
+  for (double a : accuracies) {
+    r.rounds.push_back({cycle, static_cast<double>(cycle) * 2.0, a, 0.5, 1.0});
+    ++cycle;
+  }
+  return r;
+}
+
+TEST(RunResultTest, EmptyTraceIsZero) {
+  const fl::RunResult r;
+  EXPECT_EQ(r.final_accuracy(), 0.0);
+  EXPECT_EQ(r.final_accuracy(0), 0.0);
+  EXPECT_EQ(r.accuracy_variance(), 0.0);
+  EXPECT_EQ(r.total_upload_mb(), 0.0);
+  EXPECT_EQ(r.cycles_to_accuracy(0.5), fl::RunResult::npos);
+  EXPECT_EQ(r.time_to_accuracy(0.5), fl::RunResult::never);
+}
+
+TEST(RunResultTest, SingleRoundTrace) {
+  const fl::RunResult r = make_run({0.4});
+  // The default tail (3) clamps to the one available round.
+  EXPECT_DOUBLE_EQ(r.final_accuracy(), 0.4);
+  EXPECT_DOUBLE_EQ(r.final_accuracy(10), 0.4);
+  // Variance needs at least two rounds.
+  EXPECT_EQ(r.accuracy_variance(), 0.0);
+  EXPECT_EQ(r.cycles_to_accuracy(0.4), 0U);
+  EXPECT_DOUBLE_EQ(r.time_to_accuracy(0.4), 0.0);
+}
+
+TEST(RunResultTest, TailClampsToTraceLength) {
+  const fl::RunResult r = make_run({0.2, 0.4});
+  EXPECT_DOUBLE_EQ(r.final_accuracy(3), 0.3);
+  EXPECT_DOUBLE_EQ(r.final_accuracy(100), 0.3);
+  // tail = 0 still averages at least the last round.
+  EXPECT_DOUBLE_EQ(r.final_accuracy(0), 0.4);
+}
+
+TEST(RunResultTest, VarianceTailClamps) {
+  const fl::RunResult r = make_run({0.1, 0.3});
+  // Default tail 10 > 2 rounds: population variance of {0.1, 0.3} = 0.01.
+  EXPECT_NEAR(r.accuracy_variance(), 0.01, 1e-12);
+  // tail < 2 widens to 2 rather than degenerating.
+  EXPECT_NEAR(r.accuracy_variance(1), 0.01, 1e-12);
+  EXPECT_NEAR(r.accuracy_variance(0), 0.01, 1e-12);
+}
+
+TEST(RunResultTest, FinalAccuracyUsesLastRounds) {
+  const fl::RunResult r = make_run({0.0, 0.0, 0.6, 0.6, 0.6});
+  EXPECT_DOUBLE_EQ(r.final_accuracy(3), 0.6);
+  EXPECT_DOUBLE_EQ(r.final_accuracy(5), 0.36);
+}
+
+TEST(RunResultTest, NeverReachedTarget) {
+  const fl::RunResult r = make_run({0.1, 0.2, 0.3});
+  EXPECT_EQ(r.cycles_to_accuracy(0.9), fl::RunResult::npos);
+  EXPECT_EQ(r.time_to_accuracy(0.9), fl::RunResult::never);
+  EXPECT_EQ(r.cycles_to_accuracy(0.2), 1U);
+  EXPECT_DOUBLE_EQ(r.time_to_accuracy(0.2), 2.0);
+}
+
+}  // namespace
+}  // namespace helios
