@@ -73,26 +73,31 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
     }
 
     // Phase 2: local training (synchronous round; virtual times from the
-    // cost model, round length = slowest participant).
+    // cost model, round length = slowest participant). The masks were all
+    // chosen in phase 1, so the cycles are independent and fan out across
+    // the pool; the updates come back in plan order.
     const std::vector<float> global_before(fleet.server().global());
     const std::vector<float> buffers_before(fleet.server().global_buffers());
-    std::vector<fl::ClientUpdate> updates;
-    updates.reserve(plan.size());
+    std::vector<fl::Client*> roster;
+    roster.reserve(plan.size());
+    for (Planned& p : plan) roster.push_back(p.client);
+    std::vector<fl::ClientUpdate> updates = fl::Fleet::parallel_train(
+        roster, [&](fl::Client& client, std::size_t i) {
+          return client.run_cycle(global_before, buffers_before, plan[i].mask);
+        });
     double round_seconds = 0.0;
     double capable_pace = 0.0;
     double loss = 0.0;
     double upload = 0.0;
-    for (Planned& p : plan) {
-      updates.push_back(
-          p.client->run_cycle(global_before, buffers_before, p.mask));
+    for (std::size_t i = 0; i < plan.size(); ++i) {
       const double cycle_seconds =
-          updates.back().train_seconds + updates.back().upload_seconds;
+          updates[i].train_seconds + updates[i].upload_seconds;
       round_seconds = std::max(round_seconds, cycle_seconds);
-      if (!p.client->is_straggler()) {
+      if (!plan[i].client->is_straggler()) {
         capable_pace = std::max(capable_pace, cycle_seconds);
       }
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
+      loss += updates[i].mean_loss;
+      upload += updates[i].upload_mb;
     }
     fleet.clock().advance(round_seconds);
 

@@ -19,6 +19,11 @@ Afo::Afo(double alpha, double staleness_exponent)
   }
 }
 
+// Stays sequential by design (like AsyncFL's fully-async mode): each
+// completion event applies a staleness-discounted update to the evolving
+// global model before the next one starts, so there is never a batch of
+// independent cycles to hand to Fleet::parallel_train. Intra-op kernel
+// parallelism still applies inside each run_cycle.
 RunResult Afo::run(Fleet& fleet, int cycles) {
   RunResult result;
   result.method = name();

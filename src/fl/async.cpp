@@ -30,6 +30,10 @@ RunResult AsyncFL::run(Fleet& fleet, int cycles) {
                                 : run_period(fleet, cycles);
 }
 
+// Stays sequential by design: every completion event trains against the
+// global model as mutated by all earlier completions, so there is no batch
+// of independent cycles to fan out. Intra-op kernel parallelism still
+// applies inside each run_cycle.
 RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
   RunResult result;
   result.method = name();
@@ -148,32 +152,45 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
       }
     }
 
-    // Capable devices train synchronously among themselves.
-    std::vector<ClientUpdate> updates;
+    // Capable devices train synchronously among themselves; their cycles
+    // are independent and fan out across the pool.
+    std::vector<ClientUpdate> updates = Fleet::parallel_train(
+        capable, [&](Client& c, std::size_t) {
+          return c.run_cycle(fleet.server().global(),
+                             fleet.server().global_buffers(), {});
+        });
     double round_seconds = 0.0;
     double loss = 0.0;
     double upload = 0.0;
-    for (Client* c : capable) {
-      updates.push_back(c->run_cycle(fleet.server().global(),
-                                     fleet.server().global_buffers(), {}));
-      round_seconds = std::max(
-          round_seconds,
-          updates.back().train_seconds + updates.back().upload_seconds);
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
+    for (const ClientUpdate& u : updates) {
+      round_seconds =
+          std::max(round_seconds, u.train_seconds + u.upload_seconds);
+      loss += u.mean_loss;
+      upload += u.upload_mb;
     }
     fleet.clock().advance(round_seconds);
 
-    // Merge straggler updates whose period elapsed, computed from the stale
-    // snapshot they started on.
+    // Merge straggler updates whose period elapsed. Each trains from the
+    // stale snapshot it started on (not the live global), so the due batch
+    // is independent too and fans out; appending in `stragglers` order
+    // keeps aggregation order identical to the sequential path.
+    std::vector<Client*> due;
     for (Client* s : stragglers) {
       auto& st = state[s->id()];
       if (!st.busy) continue;
       if (cycle - st.started_cycle + 1 < straggler_period_) continue;
-      updates.push_back(s->run_cycle(st.base, st.base_buffers, {}));
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
-      st.busy = false;
+      due.push_back(s);
+    }
+    std::vector<ClientUpdate> straggler_updates = Fleet::parallel_train(
+        due, [&](Client& s, std::size_t) {
+          auto& st = state.at(s.id());  // at(): no concurrent map mutation
+          return s.run_cycle(st.base, st.base_buffers, {});
+        });
+    for (std::size_t i = 0; i < due.size(); ++i) {
+      loss += straggler_updates[i].mean_loss;
+      upload += straggler_updates[i].upload_mb;
+      state[due[i]->id()].busy = false;
+      updates.push_back(std::move(straggler_updates[i]));
     }
 
     fleet.server().aggregate(updates, opts);

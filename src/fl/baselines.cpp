@@ -21,20 +21,29 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
   for (int cycle = 0; cycle < cycles; ++cycle) {
     HELIOS_TRACE_SPAN("baseline.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
-    std::vector<ClientUpdate> updates;
+    // Masks are drawn sequentially first (mask_for may consume per-client
+    // RNG state), then the independent training cycles fan out.
+    std::vector<Client*> roster;
+    std::vector<std::vector<std::uint8_t>> masks;
+    roster.reserve(fleet.size());
+    masks.reserve(fleet.size());
+    for (auto& client : fleet.clients()) {
+      roster.push_back(client.get());
+      masks.push_back(mask_for(*client, cycle));
+    }
+    std::vector<ClientUpdate> updates = Fleet::parallel_train(
+        roster, [&](Client& client, std::size_t i) {
+          return client.run_cycle(fleet.server().global(),
+                                  fleet.server().global_buffers(), masks[i]);
+        });
     double round_seconds = 0.0;
     double loss = 0.0;
     double upload = 0.0;
-    for (auto& client : fleet.clients()) {
-      const std::vector<std::uint8_t> mask = mask_for(*client, cycle);
-      updates.push_back(client->run_cycle(fleet.server().global(),
-                                          fleet.server().global_buffers(),
-                                          mask));
-      round_seconds = std::max(
-          round_seconds,
-          updates.back().train_seconds + updates.back().upload_seconds);
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
+    for (const ClientUpdate& u : updates) {
+      round_seconds =
+          std::max(round_seconds, u.train_seconds + u.upload_seconds);
+      loss += u.mean_loss;
+      upload += u.upload_mb;
     }
     fleet.clock().advance(round_seconds);
     fleet.server().aggregate(updates, opts);

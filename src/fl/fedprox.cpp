@@ -23,24 +23,32 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
   for (int cycle = 0; cycle < cycles; ++cycle) {
     HELIOS_TRACE_SPAN("fedprox.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
-    std::vector<ClientUpdate> updates;
-    updates.reserve(fleet.size());
+    // Per-client work scales are fixed by straggler volume, so they are
+    // computed up front and the independent cycles fan out.
+    std::vector<Client*> roster;
+    std::vector<double> work;
+    roster.reserve(fleet.size());
+    work.reserve(fleet.size());
+    for (auto& client : fleet.clients()) {
+      roster.push_back(client.get());
+      work.push_back(client->is_straggler()
+                         ? std::clamp(client->volume(), min_work_, 1.0)
+                         : 1.0);
+    }
+    std::vector<ClientUpdate> updates = Fleet::parallel_train(
+        roster, [&](Client& client, std::size_t i) {
+          return client.run_cycle(fleet.server().global(),
+                                  fleet.server().global_buffers(), {},
+                                  work[i]);
+        });
     double round_seconds = 0.0;
     double loss = 0.0;
     double upload = 0.0;
-    for (auto& client : fleet.clients()) {
-      const double work =
-          client->is_straggler()
-              ? std::clamp(client->volume(), min_work_, 1.0)
-              : 1.0;
-      updates.push_back(client->run_cycle(fleet.server().global(),
-                                          fleet.server().global_buffers(),
-                                          {}, work));
-      round_seconds = std::max(
-          round_seconds,
-          updates.back().train_seconds + updates.back().upload_seconds);
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
+    for (const ClientUpdate& u : updates) {
+      round_seconds =
+          std::max(round_seconds, u.train_seconds + u.upload_seconds);
+      loss += u.mean_loss;
+      upload += u.upload_mb;
     }
     fleet.clock().advance(round_seconds);
     fleet.server().aggregate(updates, opts);

@@ -1,11 +1,14 @@
 // A federation: server + clients + held-out test set + virtual clock.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 
 #include "device/virtual_clock.h"
 #include "fl/client.h"
 #include "fl/server.h"
+#include "util/thread_pool.h"
 
 namespace helios::obs {
 class TelemetrySink;
@@ -39,6 +42,31 @@ class Fleet {
   std::vector<Client*> capable();
 
   double evaluate() { return server_.evaluate_accuracy(test_set_); }
+
+  /// Round-level fan-out: runs `fn(client, i)` for every client in `roster`
+  /// concurrently on the global thread pool and returns the updates indexed
+  /// by roster position. Clients are independent during a round (each owns
+  /// its model, optimizer, RNG, and loader; the global snapshot is read-only
+  /// here), so each update is bit-identical to what the sequential loop
+  /// would have produced — and because the caller aggregates the returned
+  /// vector in roster order, the whole round is too. Any per-round state the
+  /// callback needs (masks, work scales, RNG draws) must be precomputed
+  /// before the fan-out so it does not depend on execution order. With one
+  /// thread configured this degenerates to a plain in-order loop.
+  template <typename Fn>
+  static std::vector<ClientUpdate> parallel_train(
+      std::span<Client* const> roster, Fn&& fn) {
+    std::vector<ClientUpdate> updates(roster.size());
+    util::parallel_for(
+        0, static_cast<std::int64_t>(roster.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            updates[idx] = fn(*roster[idx], idx);
+          }
+        });
+    return updates;
+  }
 
   /// One-line observability opt-in: threads `sink` through the server and
   /// every (current and future) client, and installs it globally so the

@@ -44,20 +44,21 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
       }
     }
 
-    std::vector<ClientUpdate> updates;
-    updates.reserve(participants.size());
+    // Participants were sampled above (sequentially, from this run's RNG);
+    // their cycles are independent and fan out across the pool.
+    std::vector<ClientUpdate> updates = Fleet::parallel_train(
+        participants, [&](Client& client, std::size_t) {
+          return client.run_cycle(fleet.server().global(),
+                                  fleet.server().global_buffers(), {});
+        });
     double round_seconds = 0.0;
     double loss = 0.0;
     double upload = 0.0;
-    for (Client* client : participants) {
-      updates.push_back(client->run_cycle(fleet.server().global(),
-                                          fleet.server().global_buffers(),
-                                          {}));
-      round_seconds = std::max(
-          round_seconds,
-          updates.back().train_seconds + updates.back().upload_seconds);
-      loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
+    for (const ClientUpdate& u : updates) {
+      round_seconds =
+          std::max(round_seconds, u.train_seconds + u.upload_seconds);
+      loss += u.mean_loss;
+      upload += u.upload_mb;
     }
     fleet.clock().advance(round_seconds);
     fleet.server().aggregate(updates, opts);

@@ -3,9 +3,13 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/trace.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace helios::nn {
 
@@ -55,28 +59,48 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
       static_cast<std::size_t>(geometry_.in_channels) * geometry_.in_h *
       geometry_.in_w;
   Tensor y({n, out_channels_, oh, ow});
-  Tensor cols({geometry_.patch_size(), plane});
-  Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
-  Tensor ys({out_channels_, plane});
-  for (int i = 0; i < n; ++i) {
-    std::copy_n(x.data() + static_cast<std::size_t>(i) * in_sample, in_sample,
-                sample.data());
-    tensor::im2col(sample, geometry_, cols);
-    tensor::matmul_masked_rows_into(weight_, cols, mask_, ys);
-    float* yp = y.data() + static_cast<std::size_t>(i) * out_channels_ * plane;
-    const float* ysp = ys.data();
-    const float* bp = bias_.data();
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const bool active = mask_.empty() || mask_[static_cast<std::size_t>(oc)];
-      float* dst = yp + static_cast<std::size_t>(oc) * plane;
-      const float* src = ysp + static_cast<std::size_t>(oc) * plane;
-      if (active) {
-        const float b = bp[oc];
-        for (int p = 0; p < plane; ++p) dst[p] = src[p] + b;
-      } else {
-        for (int p = 0; p < plane; ++p) dst[p] = 0.0F;
+  // Samples are independent: the batch splits across the pool, each chunk
+  // with its own im2col scratch. Every output plane is written by exactly
+  // one chunk with the sequential per-sample math, so the result is
+  // bit-identical at any thread count.
+  auto run_samples = [&](std::int64_t lo, std::int64_t hi) {
+    Tensor cols({geometry_.patch_size(), plane});
+    Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+    Tensor ys({out_channels_, plane});
+    for (std::int64_t i = lo; i < hi; ++i) {
+      std::copy_n(x.data() + static_cast<std::size_t>(i) * in_sample,
+                  in_sample, sample.data());
+      tensor::im2col(sample, geometry_, cols);
+      tensor::matmul_masked_rows_into(weight_, cols, mask_, ys);
+      float* yp =
+          y.data() + static_cast<std::size_t>(i) * out_channels_ * plane;
+      const float* ysp = ys.data();
+      const float* bp = bias_.data();
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const bool active =
+            mask_.empty() || mask_[static_cast<std::size_t>(oc)];
+        float* dst = yp + static_cast<std::size_t>(oc) * plane;
+        const float* src = ysp + static_cast<std::size_t>(oc) * plane;
+        if (active) {
+          const float b = bp[oc];
+          for (int p = 0; p < plane; ++p) dst[p] = src[p] + b;
+        } else {
+          for (int p = 0; p < plane; ++p) dst[p] = 0.0F;
+        }
       }
     }
+  };
+  const std::int64_t per_sample = static_cast<std::int64_t>(out_channels_) *
+                                  geometry_.patch_size() * plane;
+  if (n > 1 && per_sample * n >= tensor::kIntraOpMinWork) {
+    util::parallel_for(
+        0, n,
+        std::max<std::int64_t>(
+            1, tensor::kIntraOpChunkWork /
+                   std::max<std::int64_t>(1, per_sample)),
+        run_samples);
+  } else {
+    run_samples(0, n);
   }
   return y;
 }
@@ -98,13 +122,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       static_cast<std::size_t>(geometry_.in_channels) * geometry_.in_h *
       geometry_.in_w;
   Tensor dx({n, geometry_.in_channels, geometry_.in_h, geometry_.in_w});
-  Tensor cols({geometry_.patch_size(), plane});
-  Tensor dcols({geometry_.patch_size(), plane});
-  Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
-  Tensor dsample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
-  Tensor gy({out_channels_, plane});
-  float* dbp = dbias_.data();
-  for (int i = 0; i < n; ++i) {
+
+  // Per-sample body: accumulates this sample's dW/db into `dw`/`db` and
+  // writes its dx slice (disjoint across samples).
+  auto backward_sample = [&](int i, Tensor& cols, Tensor& dcols,
+                             Tensor& sample, Tensor& dsample, Tensor& gy,
+                             Tensor& dw, Tensor& db) {
     std::copy_n(cached_input_.data() + static_cast<std::size_t>(i) * in_sample,
                 in_sample, sample.data());
     tensor::im2col(sample, geometry_, cols);
@@ -112,7 +135,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                       static_cast<std::size_t>(i) * out_channels_ * plane;
     std::copy_n(gp, static_cast<std::size_t>(out_channels_) * plane, gy.data());
     // dW += dY * cols^T for active filters; db += row sums of dY.
-    tensor::matmul_nt_masked_rows_accumulate(gy, cols, mask_, dweight_);
+    tensor::matmul_nt_masked_rows_accumulate(gy, cols, mask_, dw);
+    float* dbp = db.data();
     for (int oc = 0; oc < out_channels_; ++oc) {
       if (!mask_.empty() && !mask_[static_cast<std::size_t>(oc)]) continue;
       const float* row = gy.data() + static_cast<std::size_t>(oc) * plane;
@@ -127,6 +151,53 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     tensor::col2im_accumulate(dcols, geometry_, dsample);
     std::copy_n(dsample.data(), in_sample,
                 dx.data() + static_cast<std::size_t>(i) * in_sample);
+  };
+
+  const std::int64_t per_sample = 2 * static_cast<std::int64_t>(out_channels_) *
+                                  geometry_.patch_size() * plane;
+  if (n > 1 && per_sample * n >= tensor::kIntraOpMinWork) {
+    // The batch splits into a FIXED number of chunks (independent of the
+    // thread count — only of n), each accumulating dW/db into its own
+    // partial. The partials are then reduced in chunk order, so the result
+    // is the same whether the chunks ran on one thread or eight.
+    const int nchunks = std::min(n, 8);
+    std::vector<Tensor> dws, dbs;
+    dws.reserve(static_cast<std::size_t>(nchunks));
+    dbs.reserve(static_cast<std::size_t>(nchunks));
+    for (int c = 0; c < nchunks; ++c) {
+      dws.emplace_back(
+          Tensor::zeros({out_channels_, geometry_.patch_size()}));
+      dbs.emplace_back(Tensor::zeros({out_channels_}));
+    }
+    util::parallel_for(0, nchunks, 1, [&](std::int64_t clo, std::int64_t chi) {
+      Tensor cols({geometry_.patch_size(), plane});
+      Tensor dcols({geometry_.patch_size(), plane});
+      Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+      Tensor dsample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+      Tensor gy({out_channels_, plane});
+      for (std::int64_t c = clo; c < chi; ++c) {
+        const int lo = static_cast<int>(n * c / nchunks);
+        const int hi = static_cast<int>(n * (c + 1) / nchunks);
+        for (int i = lo; i < hi; ++i) {
+          backward_sample(i, cols, dcols, sample, dsample, gy,
+                          dws[static_cast<std::size_t>(c)],
+                          dbs[static_cast<std::size_t>(c)]);
+        }
+      }
+    });
+    for (int c = 0; c < nchunks; ++c) {
+      tensor::add_inplace(dweight_, dws[static_cast<std::size_t>(c)]);
+      tensor::add_inplace(dbias_, dbs[static_cast<std::size_t>(c)]);
+    }
+  } else {
+    Tensor cols({geometry_.patch_size(), plane});
+    Tensor dcols({geometry_.patch_size(), plane});
+    Tensor sample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+    Tensor dsample({geometry_.in_channels, geometry_.in_h, geometry_.in_w});
+    Tensor gy({out_channels_, plane});
+    for (int i = 0; i < n; ++i) {
+      backward_sample(i, cols, dcols, sample, dsample, gy, dweight_, dbias_);
+    }
   }
   return dx;
 }

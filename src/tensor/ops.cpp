@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace helios::tensor {
 namespace {
@@ -24,6 +27,22 @@ void require_2d(const Tensor& t, const char* what) {
 
 bool row_active(RowMask mask, int row) {
   return mask.empty() || mask[static_cast<std::size_t>(row)] != 0;
+}
+
+/// True when a kernel of `work` MACs should fan out: big enough, more than
+/// one thread configured, and not already inside a parallel region (nested
+/// regions run inline anyway — skipping the dispatch keeps the sequential
+/// loop structure, which matters for the kernels that use a transposed
+/// traversal in their parallel variant).
+bool parallel_worthwhile(std::int64_t work) {
+  return work >= kIntraOpMinWork && util::global_thread_count() > 1 &&
+         !util::detail::in_parallel_region();
+}
+
+/// Rows per chunk so each chunk carries ~kIntraOpChunkWork MACs.
+std::int64_t chunk_grain(std::int64_t per_row_work) {
+  return std::max<std::int64_t>(
+      1, kIntraOpChunkWork / std::max<std::int64_t>(1, per_row_work));
 }
 
 }  // namespace
@@ -127,17 +146,41 @@ void matmul_masked_rows_into(const Tensor& a, const Tensor& b, RowMask mask,
   const float* bp = b.data();
   float* cp = c.data();
   // i-k-j loop order: the inner j loop streams contiguous rows of B and C,
-  // which the compiler vectorizes.
-  for (int i = 0; i < m; ++i) {
-    if (!row_active(mask, i)) continue;
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    float* crow = cp + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0F) continue;
-      const float* brow = bp + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // which the compiler vectorizes. Parallel split is over rows of C, so the
+  // per-element accumulation order never changes.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    if (mask.empty()) {
+      // Unmasked fast path: no row gating and no zero-skip branch (the
+      // skip only pays off for soft-training's masked rows; on dense
+      // inputs it defeats vectorization).
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const float* arow = ap + static_cast<std::size_t>(i) * k;
+        float* crow = cp + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+          const float aik = arow[kk];
+          const float* brow = bp + static_cast<std::size_t>(kk) * n;
+          for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+      return;
     }
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (!row_active(mask, static_cast<int>(i))) continue;
+      const float* arow = ap + static_cast<std::size_t>(i) * k;
+      float* crow = cp + static_cast<std::size_t>(i) * n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0F) continue;
+        const float* brow = bp + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  };
+  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
+  if (parallel_worthwhile(row_work * m)) {
+    util::parallel_for(0, m, chunk_grain(row_work), rows);
+  } else {
+    rows(0, m);
   }
 }
 
@@ -153,6 +196,56 @@ void matmul_tn_masked_accumulate(const Tensor& a, const Tensor& b,
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
+  const std::int64_t work =
+      static_cast<std::int64_t>(m) * k * n;
+  if (parallel_worthwhile(work)) {
+    // kk-outer variant: each output row of C is owned by exactly one chunk
+    // and its i loop runs ascending, the same per-element accumulation
+    // order as the sequential path below — bit-identical results.
+    auto out_rows = [&](std::int64_t lo, std::int64_t hi) {
+      if (mask.empty()) {
+        for (std::int64_t kk = lo; kk < hi; ++kk) {
+          float* crow = cp + static_cast<std::size_t>(kk) * n;
+          for (int i = 0; i < m; ++i) {
+            const float aik = ap[static_cast<std::size_t>(i) * k +
+                                 static_cast<std::size_t>(kk)];
+            const float* brow = bp + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+        return;
+      }
+      for (std::int64_t kk = lo; kk < hi; ++kk) {
+        float* crow = cp + static_cast<std::size_t>(kk) * n;
+        for (int i = 0; i < m; ++i) {
+          if (!row_active(mask, i)) continue;
+          const float aik = ap[static_cast<std::size_t>(i) * k +
+                               static_cast<std::size_t>(kk)];
+          if (aik == 0.0F) continue;
+          const float* brow = bp + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    };
+    util::parallel_for(0, k,
+                       chunk_grain(static_cast<std::int64_t>(m) * n),
+                       out_rows);
+    return;
+  }
+  if (mask.empty()) {
+    // Unmasked fast path: row gating and the zero-skip branch hoisted out
+    // (the skip only pays for masked soft-training rows).
+    for (int i = 0; i < m; ++i) {
+      const float* arow = ap + static_cast<std::size_t>(i) * k;
+      const float* brow = bp + static_cast<std::size_t>(i) * n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        float* crow = cp + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return;
+  }
   for (int i = 0; i < m; ++i) {
     if (!row_active(mask, i)) continue;
     const float* arow = ap + static_cast<std::size_t>(i) * k;
@@ -180,16 +273,34 @@ void matmul_nt_masked_cols_into(const Tensor& a, const Tensor& b, RowMask mask,
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    float* crow = cp + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      if (!row_active(mask, j)) continue;  // output unit j skipped
-      const float* brow = bp + static_cast<std::size_t>(j) * k;
-      float acc = 0.0F;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
+  // Rows of C are independent — parallel split over i.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* arow = ap + static_cast<std::size_t>(i) * k;
+      float* crow = cp + static_cast<std::size_t>(i) * n;
+      if (mask.empty()) {
+        for (int j = 0; j < n; ++j) {
+          const float* brow = bp + static_cast<std::size_t>(j) * k;
+          float acc = 0.0F;
+          for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] = acc;
+        }
+        continue;
+      }
+      for (int j = 0; j < n; ++j) {
+        if (!row_active(mask, j)) continue;  // output unit j skipped
+        const float* brow = bp + static_cast<std::size_t>(j) * k;
+        float acc = 0.0F;
+        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
     }
+  };
+  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
+  if (parallel_worthwhile(row_work * m)) {
+    util::parallel_for(0, m, chunk_grain(row_work), rows);
+  } else {
+    rows(0, m);
   }
 }
 
@@ -208,16 +319,25 @@ void matmul_nn_masked_inner_accumulate(const Tensor& a, const Tensor& b,
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * n;
-    float* crow = cp + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      if (!row_active(mask, j)) continue;
-      const float aij = arow[j];
-      if (aij == 0.0F) continue;
-      const float* brow = bp + static_cast<std::size_t>(j) * k;
-      for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
+  // Rows of C are independent — parallel split over i.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* arow = ap + static_cast<std::size_t>(i) * n;
+      float* crow = cp + static_cast<std::size_t>(i) * k;
+      for (int j = 0; j < n; ++j) {
+        if (!row_active(mask, j)) continue;
+        const float aij = arow[j];
+        if (aij == 0.0F) continue;
+        const float* brow = bp + static_cast<std::size_t>(j) * k;
+        for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
+      }
     }
+  };
+  const std::int64_t row_work = static_cast<std::int64_t>(n) * k;
+  if (parallel_worthwhile(row_work * m)) {
+    util::parallel_for(0, m, chunk_grain(row_work), rows);
+  } else {
+    rows(0, m);
   }
 }
 
@@ -236,6 +356,28 @@ void matmul_tn_masked_out_rows_into(const Tensor& a, const Tensor& b,
   const float* bp = b.data();
   float* cp = c.data();
   // c[j, :] = sum_i a[i, j] * b[i, :] — skip inactive output rows j.
+  const std::int64_t work = static_cast<std::int64_t>(m) * n * k;
+  if (parallel_worthwhile(work)) {
+    // j-outer variant: each output row owned by one chunk, i ascending as
+    // in the sequential path — bit-identical accumulation order.
+    auto out_rows = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) {
+        if (!row_active(mask, static_cast<int>(j))) continue;
+        float* crow = cp + static_cast<std::size_t>(j) * k;
+        for (int i = 0; i < m; ++i) {
+          const float aij = ap[static_cast<std::size_t>(i) * n +
+                               static_cast<std::size_t>(j)];
+          if (aij == 0.0F) continue;
+          const float* brow = bp + static_cast<std::size_t>(i) * k;
+          for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
+        }
+      }
+    };
+    util::parallel_for(0, n,
+                       chunk_grain(static_cast<std::int64_t>(m) * k),
+                       out_rows);
+    return;
+  }
   for (int i = 0; i < m; ++i) {
     const float* arow = ap + static_cast<std::size_t>(i) * n;
     const float* brow = bp + static_cast<std::size_t>(i) * k;
@@ -266,16 +408,25 @@ void matmul_nt_masked_rows_accumulate(const Tensor& a, const Tensor& b,
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  for (int i = 0; i < m; ++i) {
-    if (!row_active(mask, i)) continue;
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    float* crow = cp + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = bp + static_cast<std::size_t>(j) * k;
-      float acc = 0.0F;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
+  // Rows of C (conv filters) are independent — parallel split over i.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (!row_active(mask, static_cast<int>(i))) continue;
+      const float* arow = ap + static_cast<std::size_t>(i) * k;
+      float* crow = cp + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = bp + static_cast<std::size_t>(j) * k;
+        float acc = 0.0F;
+        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
     }
+  };
+  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
+  if (parallel_worthwhile(row_work * m)) {
+    util::parallel_for(0, m, chunk_grain(row_work), rows);
+  } else {
+    rows(0, m);
   }
 }
 

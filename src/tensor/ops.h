@@ -18,6 +18,15 @@ namespace helios::tensor {
 /// Per-row activity mask; empty span means "all rows active".
 using RowMask = std::span<const std::uint8_t>;
 
+// Intra-op parallelism gates, shared by the matmul kernels and conv2d: a
+// kernel engages the thread pool only when its multiply-accumulate count
+// crosses kIntraOpMinWork (tiny LeNet shapes stay inline), and static
+// chunks are sized to carry at least kIntraOpChunkWork each. Parallel
+// variants partition output elements only, so results are bit-identical to
+// the sequential loops at any thread count.
+inline constexpr std::int64_t kIntraOpMinWork = std::int64_t{1} << 20;
+inline constexpr std::int64_t kIntraOpChunkWork = std::int64_t{1} << 18;
+
 // ---------------------------------------------------------------------------
 // Elementwise
 // ---------------------------------------------------------------------------

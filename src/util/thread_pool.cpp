@@ -1,0 +1,209 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+namespace helios::util {
+namespace {
+
+/// Set on pool workers for their whole lifetime and on any thread while it
+/// executes a parallel_region chunk.
+thread_local bool t_in_parallel_region = false;
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int env_threads() {
+  const char* s = std::getenv("HELIOS_THREADS");
+  if (s && *s) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min<long>(v, 1024));
+    }
+  }
+  return hardware_threads();
+}
+
+struct GlobalPoolState {
+  std::mutex mu;
+  int override_threads = 0;  // 0 = no override
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& global_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+int resolved_threads(const GlobalPoolState& state) {
+  return state.override_threads > 0 ? state.override_threads : env_threads();
+}
+
+/// Cached resolved thread count (0 = unresolved): global_thread_count sits
+/// on the kernels' parallel-gating path, so the common case must be one
+/// relaxed atomic load, not a mutex.
+std::atomic<int> g_cached_threads{0};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int t = 0; t < size_ - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_parallel_region = true;  // workers never open nested regions
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (worker_count() == 0) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_region(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t max_chunks = (range + grain - 1) / grain;
+  const int nchunks = static_cast<int>(
+      std::min<std::int64_t>({max_chunks, size_, range}));
+  if (nchunks <= 1 || t_in_parallel_region) {
+    const bool saved = t_in_parallel_region;
+    t_in_parallel_region = true;
+    body(begin, end);
+    t_in_parallel_region = saved;
+    return;
+  }
+
+  struct Region {
+    std::mutex mu;
+    std::condition_variable cv;
+    int done = 0;
+    std::exception_ptr error;
+  } region;
+
+  auto run_chunk = [&](int c) {
+    const std::int64_t lo = begin + range * c / nchunks;
+    const std::int64_t hi = begin + range * (c + 1) / nchunks;
+    const bool saved = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      if (lo < hi) body(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.mu);
+      if (!region.error) region.error = std::current_exception();
+    }
+    t_in_parallel_region = saved;
+    // The notify must happen under the region lock: once `done` reaches
+    // nchunks the caller may return and destroy `region`.
+    std::lock_guard<std::mutex> lock(region.mu);
+    if (++region.done == nchunks) region.cv.notify_all();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Shutdown racing a new region: run it inline instead of enqueueing.
+      for (int c = 1; c < nchunks; ++c) run_chunk(c);
+    } else {
+      for (int c = 1; c < nchunks; ++c) {
+        queue_.push_back([&run_chunk, c] { run_chunk(c); });
+      }
+    }
+  }
+  cv_.notify_all();
+  run_chunk(0);
+
+  std::unique_lock<std::mutex> lock(region.mu);
+  region.cv.wait(lock, [&] { return region.done == nchunks; });
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+int global_thread_count() {
+  const int cached = g_cached_threads.load(std::memory_order_relaxed);
+  if (cached > 0) return cached;
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const int threads = resolved_threads(state);
+  g_cached_threads.store(threads, std::memory_order_relaxed);
+  return threads;
+}
+
+void set_global_threads(int n) {
+  if (n < 0) throw std::invalid_argument("set_global_threads: negative n");
+  GlobalPoolState& state = global_state();
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.override_threads = n;
+    g_cached_threads.store(resolved_threads(state),
+                           std::memory_order_relaxed);
+    old = std::move(state.pool);  // rebuilt lazily at the new size
+  }
+  // Old pool (if any) drains and joins outside the state lock.
+}
+
+ThreadPool& global_pool() {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(resolved_threads(state));
+  }
+  return *state.pool;
+}
+
+namespace detail {
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+ThreadPool* pool_for_new_region() {
+  if (global_thread_count() <= 1) return nullptr;  // never builds a pool
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(resolved_threads(state));
+  }
+  return state.pool->size() > 1 ? state.pool.get() : nullptr;
+}
+
+}  // namespace detail
+}  // namespace helios::util

@@ -1,0 +1,122 @@
+// Work-queue thread pool and a deterministic parallel_for.
+//
+// Helios parallelizes at two levels (DESIGN.md, "Threading model"):
+//   * round-level — Fleet::parallel_train fans a cycle's independent client
+//     updates across the pool,
+//   * intra-op    — the matmul kernels in tensor/ops.cpp and the im2col
+//     conv2d split output rows / filters / batch samples across the pool.
+//
+// Determinism contract: parallel_for partitions the OUTPUT index range into
+// contiguous static chunks. Every output element is produced by exactly one
+// chunk using the same inner accumulation order as the sequential loop, so
+// results are bit-identical for any thread count (HELIOS_THREADS=1 and =4
+// agree to the last bit; see tests/determinism_test.cpp).
+//
+// Sizing: the global pool reads HELIOS_THREADS (positive integer) once, or
+// takes a programmatic override via set_global_threads(); it defaults to
+// std::thread::hardware_concurrency(). A 1-thread configuration spawns no
+// worker threads at all and parallel_for degenerates to an inline call.
+//
+// Nesting: a parallel_for issued from inside a pool worker — or from inside
+// another parallel_for chunk — runs inline. One level of parallelism is
+// enough (round-level fan-out already owns the cores during training) and
+// inline nesting makes blocking on inner regions deadlock-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace helios::util {
+
+class ThreadPool {
+ public:
+  /// A pool of total concurrency `threads` (clamped to >= 1): the caller of
+  /// parallel_region participates, so only `threads - 1` workers are
+  /// spawned. ThreadPool(1) spawns no threads.
+  explicit ThreadPool(int threads);
+  /// Drains remaining queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. With no workers (size() == 1) the task runs inline.
+  /// Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Splits [begin, end) into at most size() contiguous chunks of at least
+  /// `grain` elements, runs `body(lo, hi)` for each (one on the calling
+  /// thread), and blocks until all complete. The first exception thrown by
+  /// any chunk is rethrown on the caller after the region finishes.
+  void parallel_region(
+      std::int64_t begin, std::int64_t end, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  void worker_loop();
+
+  int size_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Thread count the global pool is (or will be) built with: the
+/// set_global_threads override, else HELIOS_THREADS, else
+/// hardware_concurrency.
+int global_thread_count();
+
+/// Overrides the global pool size (n >= 1), rebuilding the pool; n = 0
+/// clears the override back to HELIOS_THREADS / hardware defaults. Call
+/// only while no parallel work is in flight (tests and benches do this
+/// between runs).
+void set_global_threads(int n);
+
+/// The lazily constructed process-wide pool (built on first parallel use).
+ThreadPool& global_pool();
+
+namespace detail {
+/// True on pool workers and inside parallel_for chunks: nested regions run
+/// inline there.
+bool in_parallel_region();
+/// Global pool if it should be used for a new region, else nullptr
+/// (1-thread configuration — never constructs a pool in that case).
+ThreadPool* pool_for_new_region();
+}  // namespace detail
+
+/// Deterministic static-chunk parallel loop over [begin, end): `body` is
+/// invoked on contiguous sub-ranges that cover the range exactly once, in
+/// parallel when the global pool has more than one thread and the range
+/// exceeds `grain`, inline otherwise. Exceptions propagate to the caller.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Body&& body) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  if (range <= grain || detail::in_parallel_region()) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool* pool = detail::pool_for_new_region();
+  if (!pool) {
+    body(begin, end);
+    return;
+  }
+  Body& ref = body;  // materialize the forwarding reference once
+  pool->parallel_region(
+      begin, end, grain,
+      [&ref](std::int64_t lo, std::int64_t hi) { ref(lo, hi); });
+}
+
+}  // namespace helios::util

@@ -8,6 +8,8 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/helios_strategy.h"
 #include "obs/metrics.h"
@@ -290,6 +292,52 @@ TEST(TelemetryGoldenTest, TwoDeviceDashboardIsConsistent) {
   EXPECT_NE(prom.str().find("helios_client_cycles_total"),
             std::string::npos);
   EXPECT_NE(prom.str().find("helios_server_r_n"), std::string::npos);
+}
+
+TEST(TelemetrySinkTest, CountersSurviveConcurrentClientUpdates) {
+  // Fleet::parallel_train reports client cycles to the sink from pool
+  // threads: hammer the sink from several threads and check nothing is
+  // lost. Devices are registered sequentially first so dashboard order is
+  // deterministic.
+  obs::TelemetrySink sink;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 250;
+  for (int d = 0; d < kThreads; ++d) {
+    sink.record_client_cycle(d, "hammer", d % 2 == 1, 1.0, 24, 24, 0.5, 0.1,
+                             0.25, 1.0);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int d = 0; d < kThreads; ++d) {
+    threads.emplace_back([&sink, d] {
+      for (int i = 1; i < kIters; ++i) {
+        sink.record_client_cycle(d, "hammer", d % 2 == 1, 1.0, 24, 24, 0.5,
+                                 0.1, 0.25, 1.0);
+        sink.record_aggregation_weight(d, 0.5, 0.25);
+        sink.record_cycle_result("hammer", i, static_cast<double>(i), 0.5,
+                                 1.0, 0.25);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  sink.flush();
+
+  ASSERT_EQ(sink.dashboard().device_count(),
+            static_cast<std::size_t>(kThreads));
+  double upload_total = 0.0;
+  for (int d = 0; d < kThreads; ++d) {
+    const obs::DeviceStats stats = sink.dashboard().device(
+        static_cast<std::size_t>(d));
+    EXPECT_EQ(stats.cycles, kIters) << "device " << d;
+    upload_total += stats.upload_mb;
+  }
+  EXPECT_NEAR(upload_total, 0.25 * kThreads * kIters, 1e-9);
+
+  // Exports stay parsable after the concurrent run.
+  std::ostringstream prom;
+  sink.write_metrics_prometheus(prom);
+  EXPECT_NE(prom.str().find("helios_client_cycles_total"),
+            std::string::npos);
 }
 
 TEST(TelemetrySinkTest, InstallUninstallTracksGlobalState) {

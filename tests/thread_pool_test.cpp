@@ -1,0 +1,255 @@
+// ThreadPool / parallel_for unit tests: chunk coverage, exception
+// propagation, nesting, teardown, and the bit-identity of parallelized
+// kernels across thread counts.
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace helios {
+namespace {
+
+using tensor::Tensor;
+
+/// Restores the default global thread configuration when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { util::set_global_threads(0); }
+};
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  int calls = 0;
+  util::parallel_for(0, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  util::parallel_for(5, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingletonRangeRunsInlineOnce) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  int calls = 0;
+  const std::thread::id caller = std::this_thread::get_id();
+  util::parallel_for(7, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 7);
+    EXPECT_EQ(hi, 8);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, RangeIsCoveredExactlyOnce) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  constexpr int kN = 1000;
+  std::vector<int> hits(kN, 0);  // chunks are disjoint: no data race
+  util::parallel_for(0, kN, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), kN);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  EXPECT_THROW(
+      util::parallel_for(0, 100, 1,
+                         [&](std::int64_t lo, std::int64_t) {
+                           if (lo >= 0) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The pool must still be usable after an exceptional region.
+  std::atomic<int> covered{0};
+  util::parallel_for(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+    covered += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInline) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  std::atomic<int> inner_chunks{0};
+  util::parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    const std::thread::id outer = std::this_thread::get_id();
+    util::parallel_for(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+      inner_chunks++;
+      EXPECT_EQ(std::this_thread::get_id(), outer);
+      EXPECT_EQ(lo, 0);
+      EXPECT_EQ(hi, 64);
+    });
+  });
+  // Each outer chunk saw exactly one (inline, full-range) inner call, so
+  // the count equals the number of outer chunks: between 1 and 8.
+  EXPECT_GE(inner_chunks.load(), 1);
+  EXPECT_LE(inner_chunks.load(), 8);
+}
+
+TEST(ThreadPoolTest, OneThreadPoolSpawnsNoWorkers) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.worker_count(), 0);
+  int ran = 0;
+  pool.submit([&] { ++ran; });  // runs inline
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  util::ThreadPool pool(3);
+  ASSERT_EQ(pool.worker_count(), 2);
+  std::atomic<bool> inner_done{false};
+  std::atomic<bool> outer_done{false};
+  pool.submit([&] {
+    pool.submit([&] { inner_done = true; });
+    outer_done = true;
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!(inner_done && outer_done) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(outer_done.load());
+  EXPECT_TRUE(inner_done.load());
+}
+
+TEST(ThreadPoolTest, TeardownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran++;
+      });
+    }
+  }  // destructor: queued tasks drain before join
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, GlobalThreadCountFollowsOverride) {
+  ThreadGuard guard;
+  util::set_global_threads(3);
+  EXPECT_EQ(util::global_thread_count(), 3);
+  util::set_global_threads(1);
+  EXPECT_EQ(util::global_thread_count(), 1);
+  // With one thread configured parallel_for must stay on the caller.
+  const std::thread::id caller = std::this_thread::get_id();
+  util::parallel_for(0, 1 << 12, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+/// Runs `fn()` under 1 and 4 global threads and EXPECTs bitwise-equal
+/// tensor results.
+template <typename Fn>
+void expect_bit_identical(Fn fn) {
+  util::set_global_threads(1);
+  const Tensor sequential = fn();
+  util::set_global_threads(4);
+  const Tensor parallel = fn();
+  ASSERT_EQ(sequential.shape(), parallel.shape());
+  EXPECT_EQ(std::memcmp(sequential.data(), parallel.data(),
+                        sequential.numel() * sizeof(float)),
+            0);
+}
+
+TEST(ParallelKernelsTest, MatmulBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // 160^3 ≈ 4M MACs: comfortably past kIntraOpMinWork.
+  util::Rng rng(123);
+  const Tensor a = Tensor::randn({160, 160}, rng);
+  const Tensor b = Tensor::randn({160, 160}, rng);
+  std::vector<std::uint8_t> mask(160, 1);
+  for (int i = 0; i < 160; i += 3) mask[static_cast<std::size_t>(i)] = 0;
+
+  expect_bit_identical([&] { return tensor::matmul(a, b); });
+  expect_bit_identical([&] {
+    Tensor c({160, 160});
+    tensor::matmul_masked_rows_into(a, b, mask, c);
+    return c;
+  });
+  expect_bit_identical([&] {
+    Tensor c = Tensor::zeros({160, 160});
+    tensor::matmul_tn_masked_accumulate(a, b, mask, c);
+    return c;
+  });
+  expect_bit_identical([&] {
+    Tensor c({160, 160});
+    tensor::matmul_nt_masked_cols_into(a, b, mask, c);
+    return c;
+  });
+  expect_bit_identical([&] {
+    Tensor c = Tensor::zeros({160, 160});
+    tensor::matmul_nn_masked_inner_accumulate(a, b, mask, c);
+    return c;
+  });
+  expect_bit_identical([&] {
+    Tensor c({160, 160});
+    tensor::matmul_tn_masked_out_rows_into(a, b, mask, c);
+    return c;
+  });
+  expect_bit_identical([&] {
+    Tensor c = Tensor::zeros({160, 160});
+    tensor::matmul_nt_masked_rows_accumulate(a, b, mask, c);
+    return c;
+  });
+}
+
+TEST(ParallelKernelsTest, Conv2dForwardBackwardBitIdentical) {
+  ThreadGuard guard;
+  // 16 samples of 3x32x32 through 16 3x3 filters: past the intra-op gate
+  // for both forward and the fixed-chunk backward.
+  util::Rng data_rng(7);
+  const Tensor x = Tensor::randn({16, 3, 32, 32}, data_rng);
+  const Tensor gy = Tensor::randn({16, 16, 32, 32}, data_rng);
+
+  auto run = [&](int threads, Tensor& dw, Tensor& db) {
+    util::set_global_threads(threads);
+    util::Rng rng(11);
+    nn::Conv2d conv(3, 32, 32, 16, 3, 1, 1, rng, /*maskable=*/true);
+    Tensor y = conv.forward(x, /*training=*/true);
+    Tensor dx = conv.backward(gy);
+    dw = *conv.grads()[0];
+    db = *conv.grads()[1];
+    // Pack y and dx together so one comparison covers both.
+    Tensor packed({static_cast<int>(y.numel() + dx.numel())});
+    std::memcpy(packed.data(), y.data(), y.numel() * sizeof(float));
+    std::memcpy(packed.data() + y.numel(), dx.data(),
+                dx.numel() * sizeof(float));
+    return packed;
+  };
+
+  Tensor dw1, db1, dw4, db4;
+  util::set_global_threads(1);
+  const Tensor seq = run(1, dw1, db1);
+  const Tensor par = run(4, dw4, db4);
+  EXPECT_EQ(std::memcmp(seq.data(), par.data(),
+                        seq.numel() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(dw1.data(), dw4.data(),
+                        dw1.numel() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(db1.data(), db4.data(),
+                        db1.numel() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace helios
