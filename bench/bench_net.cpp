@@ -1,0 +1,160 @@
+// Network-simulation benchmark: what do faulty channels cost each strategy?
+//
+// For every strategy, one ideal-channel baseline run plus one simulated run
+// per loss rate (0 / 1 / 5%), all on identical fleets. Reported per run:
+// bytes actually on the wire (retransmits included), host wall-clock,
+// virtual round time, and the final-accuracy delta against the ideal
+// baseline. Written machine-readably to BENCH_net.json so CI can diff the
+// wire overhead and the graceful-degradation accuracy cost.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "fl/transport.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace helios;
+
+struct RunStats {
+  double accuracy = 0.0;
+  double virtual_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double wire_mb = 0.0;
+  double frames_sent = 0.0;
+  double frames_lost = 0.0;
+  double drops = 0.0;
+  double deadline_misses = 0.0;
+  double deaths = 0.0;
+};
+
+/// Sums a per-device labeled counter over the fleet's device ids.
+double sum_device_counter(obs::TelemetrySink& tel, const char* name,
+                          int devices) {
+  double total = 0.0;
+  for (int d = 0; d < devices; ++d) {
+    total += tel.metrics()
+                 .counter(name, {{"device", std::to_string(d)}})
+                 .value();
+  }
+  return total;
+}
+
+RunStats run_once(const bench::TaskSpec& task, const bench::FleetSetup& setup,
+                  const std::string& method, const net::NetworkOptions& opts) {
+  fl::Fleet fleet = bench::build_fleet(task, setup);
+  obs::TelemetryConfig tcfg;
+  tcfg.tracing = false;
+  obs::TelemetrySink telemetry(tcfg);
+  fleet.set_telemetry(&telemetry);
+  fl::NetworkSession session(fleet, opts);
+
+  auto strategy = bench::make_strategy(method);
+  const auto t0 = std::chrono::steady_clock::now();
+  const fl::RunResult result = strategy->run(fleet, task.cycles);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  RunStats s;
+  s.accuracy = result.final_accuracy();
+  s.virtual_seconds =
+      result.rounds.empty() ? 0.0 : result.rounds.back().virtual_time;
+  s.wall_seconds = wall.count();
+  s.wire_mb = sum_device_counter(telemetry, "helios.net.bytes_on_wire_total",
+                                 setup.devices) /
+              1e6;
+  s.frames_sent = sum_device_counter(
+      telemetry, "helios.net.frames_sent_total", setup.devices);
+  s.frames_lost = sum_device_counter(
+      telemetry, "helios.net.frames_lost_total", setup.devices);
+  s.drops =
+      sum_device_counter(telemetry, "helios.net.drops_total", setup.devices);
+  s.deadline_misses =
+      telemetry.metrics().counter("helios.net.deadline_missed_total").value();
+  s.deaths = sum_device_counter(
+      telemetry, "helios.net.device_deaths_total", setup.devices);
+  return s;
+}
+
+void write_stats(std::ostream& os, const RunStats& s) {
+  os << "{\"accuracy\": " << s.accuracy
+     << ", \"virtual_seconds\": " << s.virtual_seconds
+     << ", \"wall_seconds\": " << s.wall_seconds
+     << ", \"wire_mb\": " << s.wire_mb
+     << ", \"frames_sent\": " << s.frames_sent
+     << ", \"frames_lost\": " << s.frames_lost
+     << ", \"drops\": " << s.drops
+     << ", \"deadline_misses\": " << s.deadline_misses
+     << ", \"deaths\": " << s.deaths << "}";
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  const bench::TaskSpec task = bench::lenet_task(scale);
+  const bench::FleetSetup setup{4, 2, false, 7};
+  const std::vector<std::string> methods = {"Syn. FL", "Asyn. FL", "AFO",
+                                            "Helios"};
+  const std::vector<double> loss_rates = {0.0, 0.01, 0.05};
+
+  util::Table table({"method", "channel", "final acc (%)", "wire (MB)",
+                     "lost", "drops", "wall (s)"});
+  std::ofstream json("BENCH_net.json");
+  json << "{\n  \"scale\": \"" << scale.name << "\",\n  \"cycles\": "
+       << task.cycles << ",\n  \"strategies\": [\n";
+
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const std::string& method = methods[m];
+    // Ideal baseline: frames are encoded and counted but delivery is
+    // perfect and timing stays analytic.
+    const RunStats ideal = run_once(task, setup, method, net::NetworkOptions{});
+    table.add_row({method, "ideal",
+                   util::Table::num(ideal.accuracy * 100.0, 2),
+                   util::Table::num(ideal.wire_mb, 3), "0", "0",
+                   util::Table::num(ideal.wall_seconds, 2)});
+    json << "    {\"name\": \"" << method << "\", \"ideal\": ";
+    write_stats(json, ideal);
+    json << ", \"lossy\": [\n";
+
+    for (std::size_t l = 0; l < loss_rates.size(); ++l) {
+      net::NetworkOptions opts;
+      opts.mode = net::NetMode::kSimulated;
+      opts.channel.loss_prob = loss_rates[l];
+      opts.channel.latency_s = 0.005;
+      opts.channel.jitter_s = 0.002;
+      opts.deadline_factor = 2.0;
+      // The default protocol seed's four forked streams happen to draw no
+      // loss event in a short run; this one realizes ~p per rate at both
+      // quick and default scale, so the retransmit path shows up in the
+      // report.
+      opts.seed = 97;
+      const RunStats lossy = run_once(task, setup, method, opts);
+      table.add_row(
+          {method, "loss " + util::Table::num(loss_rates[l] * 100.0, 0) + "%",
+           util::Table::num(lossy.accuracy * 100.0, 2),
+           util::Table::num(lossy.wire_mb, 3),
+           util::Table::num(lossy.frames_lost, 0),
+           util::Table::num(lossy.drops, 0),
+           util::Table::num(lossy.wall_seconds, 2)});
+      json << "      {\"loss\": " << loss_rates[l] << ", \"stats\": ";
+      write_stats(json, lossy);
+      json << ", \"accuracy_delta_vs_ideal\": "
+           << (lossy.accuracy - ideal.accuracy) << "}"
+           << (l + 1 < loss_rates.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (m + 1 < methods.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  util::print_banner(std::cout,
+                     "Network simulation: wire bytes, faults and accuracy "
+                     "across loss rates (" + task.name + ")");
+  table.print(std::cout);
+  std::cout << "wrote BENCH_net.json (" << methods.size() << " strategies x "
+            << loss_rates.size() << " loss rates + ideal baselines)\n";
+  return 0;
+}

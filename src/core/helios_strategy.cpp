@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 
 namespace helios::core {
@@ -59,8 +60,8 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
     plan.reserve(fleet.size());
     {
       HELIOS_TRACE_SPAN("helios.select_submodels", {{"cycle", cycle}});
-      for (auto& client : fleet.clients()) {
-        Planned p{client.get(), {}, 0};
+      for (fl::Client* client : fleet.active_clients()) {
+        Planned p{client, {}, 0};
         if (client->is_straggler() && client->volume() < 1.0) {
           StragglerState& st = state_for(*client);
           std::vector<int> forced;
@@ -85,21 +86,22 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
         roster, [&](fl::Client& client, std::size_t i) {
           return client.run_cycle(global_before, buffers_before, plan[i].mask);
         });
-    double round_seconds = 0.0;
+    // The network (if any) decides which updates arrive, each device's
+    // actual communication time, and the round length; without a session
+    // this is the analytic max(train + upload) closure.
+    fl::NetDelivery net =
+        fl::deliver_round(fleet, updates, global_before);
     double capable_pace = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
     for (std::size_t i = 0; i < plan.size(); ++i) {
       const double cycle_seconds =
-          updates[i].train_seconds + updates[i].upload_seconds;
-      round_seconds = std::max(round_seconds, cycle_seconds);
+          updates[i].train_seconds + net.comm_seconds[i];
       if (!plan[i].client->is_straggler()) {
         capable_pace = std::max(capable_pace, cycle_seconds);
       }
       loss += updates[i].mean_loss;
-      upload += updates[i].upload_mb;
     }
-    fleet.clock().advance(round_seconds);
+    fleet.clock().advance(net.round_seconds);
 
     // Phase 3: contribution updates + rotation bookkeeping + aggregation.
     for (std::size_t i = 0; i < plan.size(); ++i) {
@@ -119,17 +121,19 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
         tel->record_rotation(plan[i].client->id(), plan[i].forced, cs);
       }
     }
-    fleet.server().aggregate(updates, opts);
+    fleet.server().aggregate(net.aggregate_span(updates), opts);
 
     // Phase 4: pace adaptation during the first cycles (Sec. V-A Step 1 —
     // "Helios needs first few training cycles to finalize the stragglers
-    // and model volumes").
+    // and model volumes"). Uses the *observed* per-device times, so under a
+    // simulated network the wire (retries included) drives the volumes.
     if (cycle < config_.pace_adaptation_cycles && capable_pace > 0.0) {
       for (std::size_t i = 0; i < plan.size(); ++i) {
         fl::Client& c = *plan[i].client;
         if (plan[i].mask.empty()) continue;
+        if (!c.active()) continue;  // died this round
         const double t =
-            updates[i].train_seconds + updates[i].upload_seconds;
+            updates[i].train_seconds + net.comm_seconds[i];
         const double ratio = t / capable_pace;
         // Outside a 10% band, rescale the volume toward the pace.
         if (ratio > 1.1 || ratio < 0.9) {
@@ -145,7 +149,7 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
 
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(plan.size()),
-                             upload});
+                             net.upload_mb});
     if (tel) {
       const fl::RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -30,7 +31,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
   if (fleet.size() == 0) throw std::logic_error("Afo: empty fleet");
 
   auto capable = fleet.capable();
-  const int reference_id =
+  int reference_id =
       capable.empty() ? fleet.client(0).id() : capable.front()->id();
 
   // Per-client: the global snapshot and version it started training from.
@@ -51,6 +52,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
   long version = 0;
   auto start_client = [&](std::size_t i, double now) {
     Client& c = fleet.client(i);
+    if (!c.active()) return;  // dead device: never rescheduled
     inflight[i].client = &c;
     inflight[i].base.assign(fleet.server().global().begin(),
                             fleet.server().global().end());
@@ -63,6 +65,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
     start_client(i, fleet.clock().now());
   }
 
+  NetworkSession* session = fleet.network();
   obs::TelemetrySink* tel = fleet.telemetry();
   int recorded = 0;
   double loss_acc = 0.0;
@@ -72,7 +75,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
     HELIOS_TRACE_SPAN("afo.completion", {{"cycle", recorded}});
     const Event ev = queue.top();
     queue.pop();
-    fleet.clock().advance_to(ev.time);
+    if (ev.time > fleet.clock().now()) fleet.clock().advance_to(ev.time);
     auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
     if (tel) {
       tel->set_virtual_time(
@@ -81,19 +84,47 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
 
     ClientUpdate update =
         fl.client->run_cycle(fl.base, fl.base_buffers, {});
-    const long staleness = version - fl.started_version;
-    const double mix_alpha =
-        alpha_ * std::pow(1.0 + static_cast<double>(staleness),
-                          -staleness_exponent_);
-    fleet.server().mix(update, mix_alpha);
-    ++version;
-    loss_acc += update.mean_loss;
-    upload_acc += update.upload_mb;
-    ++loss_count;
+    const bool is_reference = fl.client->id() == reference_id;
+    bool accepted = true;
+    if (session != nullptr) {
+      NetworkSession::SingleDelivery sd = session->deliver_update(
+          update, fl.base, ev.time - update.upload_seconds);
+      if (sd.delivered) {
+        if (sd.settle_s > fleet.clock().now()) {
+          fleet.clock().advance_to(sd.settle_s);
+        }
+        update = std::move(sd.update);
+      } else {
+        accepted = false;
+      }
+      if (sd.died && is_reference) {
+        auto active = fleet.active_clients();
+        auto cap = fleet.capable();
+        if (!cap.empty()) {
+          reference_id = cap.front()->id();
+        } else if (!active.empty()) {
+          reference_id = active.front()->id();
+        } else {
+          break;  // everyone is dead; nothing left to record
+        }
+      }
+    }
+    if (accepted) {
+      const long staleness = version - fl.started_version;
+      const double mix_alpha =
+          alpha_ * std::pow(1.0 + static_cast<double>(staleness),
+                            -staleness_exponent_);
+      fleet.server().mix(update, mix_alpha);
+      ++version;
+      loss_acc += update.mean_loss;
+      upload_acc += update.upload_mb;
+      ++loss_count;
+    }
 
-    if (fl.client->id() == reference_id) {
+    if (is_reference && fl.client->active()) {
       result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
-                               loss_acc / loss_count, upload_acc});
+                               loss_count ? loss_acc / loss_count : 0.0,
+                               upload_acc});
       if (tel) {
         const RoundRecord& r = result.rounds.back();
         tel->record_cycle_result(result.method, recorded, r.virtual_time,

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -40,7 +41,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
   if (fleet.size() == 0) throw std::logic_error("AsyncFL: empty fleet");
   auto capable = fleet.capable();
   if (capable.empty()) throw std::logic_error("AsyncFL: no capable devices");
-  const int reference_id = capable.front()->id();
+  int reference_id = capable.front()->id();
 
   struct InFlight {
     Client* client = nullptr;
@@ -57,6 +58,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
 
   auto start_client = [&](std::size_t i, double now) {
     Client& c = fleet.client(i);
+    if (!c.active()) return;  // dead device: never rescheduled
     inflight[i].client = &c;
     inflight[i].base.assign(fleet.server().global().begin(),
                             fleet.server().global().end());
@@ -68,6 +70,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
     start_client(i, fleet.clock().now());
   }
 
+  NetworkSession* session = fleet.network();
   obs::TelemetrySink* tel = fleet.telemetry();
   int recorded = 0;
   double loss_acc = 0.0;
@@ -77,7 +80,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
     HELIOS_TRACE_SPAN("async.completion", {{"cycle", recorded}});
     const Event ev = queue.top();
     queue.pop();
-    fleet.clock().advance_to(ev.time);
+    if (ev.time > fleet.clock().now()) fleet.clock().advance_to(ev.time);
     auto& fl = inflight[static_cast<std::size_t>(ev.client_index)];
     // The device finished *at* ev.time; backdate the sink so the Gantt slab
     // covers the cycle it just spent training.
@@ -88,12 +91,42 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
     // Fixed-weight mixing, no staleness discount — the stale update of a
     // straggler overwrites recent progress proportionally to beta.
     ClientUpdate update = fl.client->run_cycle(fl.base, fl.base_buffers, {});
-    fleet.server().mix(update, mix_beta_);
-    loss_acc += update.mean_loss;
-    upload_acc += update.upload_mb;
-    ++loss_count;
+    const bool is_reference = fl.client->id() == reference_id;
+    bool mixed = true;
+    if (session != nullptr) {
+      // ev.time already contains the analytic upload; the frame leaves the
+      // device when training ends.
+      NetworkSession::SingleDelivery sd = session->deliver_update(
+          update, fl.base, ev.time - update.upload_seconds);
+      if (sd.delivered) {
+        if (sd.settle_s > fleet.clock().now()) {
+          fleet.clock().advance_to(sd.settle_s);
+        }
+        update = std::move(sd.update);
+      } else {
+        mixed = false;  // lost after retries or the device died mid-upload
+      }
+      if (sd.died && is_reference) {
+        // Re-anchor recording on a surviving device so the run completes.
+        auto active = fleet.active_clients();
+        auto cap = fleet.capable();
+        if (!cap.empty()) {
+          reference_id = cap.front()->id();
+        } else if (!active.empty()) {
+          reference_id = active.front()->id();
+        } else {
+          break;  // everyone is dead; nothing left to record
+        }
+      }
+    }
+    if (mixed) {
+      fleet.server().mix(update, mix_beta_);
+      loss_acc += update.mean_loss;
+      upload_acc += update.upload_mb;
+      ++loss_count;
+    }
 
-    if (fl.client->id() == reference_id) {
+    if (is_reference && fl.client->active()) {
       result.rounds.push_back({recorded, fleet.clock().now(), fleet.evaluate(),
                                loss_count ? loss_acc / loss_count : 0.0,
                                upload_acc});
@@ -119,9 +152,7 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
   result.method = name();
   AggOptions opts;
 
-  auto capable = fleet.capable();
-  auto stragglers = fleet.stragglers();
-  if (capable.empty()) {
+  if (fleet.capable().empty()) {
     throw std::logic_error("AsyncFL: no capable devices");
   }
 
@@ -134,11 +165,16 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
     int started_cycle = 0;
   };
   std::unordered_map<int, StragglerState> state;
+  NetworkSession* session = fleet.network();
   obs::TelemetrySink* tel = fleet.telemetry();
 
   for (int cycle = 0; cycle < cycles; ++cycle) {
     HELIOS_TRACE_SPAN("async.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
+    // Rosters are re-derived per cycle so churn (deaths, joins) takes
+    // effect; identical to the loop-invariant lists absent churn.
+    auto capable = fleet.capable();
+    auto stragglers = fleet.stragglers();
     // Start any idle straggler on the current global snapshot.
     for (Client* s : stragglers) {
       auto& st = state[s->id()];
@@ -159,18 +195,19 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
           return c.run_cycle(fleet.server().global(),
                              fleet.server().global_buffers(), {});
         });
-    double round_seconds = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
-    for (const ClientUpdate& u : updates) {
-      round_seconds =
-          std::max(round_seconds, u.train_seconds + u.upload_seconds);
-      loss += u.mean_loss;
-      upload += u.upload_mb;
-    }
-    fleet.clock().advance(round_seconds);
+    for (const ClientUpdate& u : updates) loss += u.mean_loss;
+    std::size_t trained_count = updates.size();
+    NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
+    fleet.clock().advance(net.round_seconds);
+    double upload = net.upload_mb;
 
-    // Merge straggler updates whose period elapsed. Each trains from the
+    // What the server aggregates this cycle: the capable arrivals...
+    std::vector<ClientUpdate> agg = net.pass_through
+                                        ? std::move(updates)
+                                        : std::move(net.arrived);
+
+    // ...plus straggler updates whose period elapsed. Each trains from the
     // stale snapshot it started on (not the live global), so the due batch
     // is independent too and fans out; appending in `stragglers` order
     // keeps aggregation order identical to the sequential path.
@@ -186,16 +223,30 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
           auto& st = state.at(s.id());  // at(): no concurrent map mutation
           return s.run_cycle(st.base, st.base_buffers, {});
         });
+    trained_count += due.size();
     for (std::size_t i = 0; i < due.size(); ++i) {
+      StragglerState& st = state[due[i]->id()];
       loss += straggler_updates[i].mean_loss;
-      upload += straggler_updates[i].upload_mb;
-      state[due[i]->id()].busy = false;
-      updates.push_back(std::move(straggler_updates[i]));
+      st.busy = false;
+      if (session != nullptr) {
+        // The straggler's frame crosses the network on its own (it is not
+        // part of the round's deadline scope — the period already absorbs
+        // its lateness); a lost frame or a death drops the update.
+        NetworkSession::SingleDelivery sd = session->deliver_update(
+            straggler_updates[i], st.base, fleet.clock().now());
+        if (sd.delivered) {
+          upload += sd.update.upload_mb;
+          agg.push_back(std::move(sd.update));
+        }
+      } else {
+        upload += straggler_updates[i].upload_mb;
+        agg.push_back(std::move(straggler_updates[i]));
+      }
     }
 
-    fleet.server().aggregate(updates, opts);
+    fleet.server().aggregate(agg, opts);
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(updates.size()),
+                             loss / static_cast<double>(trained_count),
                              upload});
     if (tel) {
       const RoundRecord& r = result.rounds.back();

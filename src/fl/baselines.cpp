@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "fl/submodel.h"
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -23,12 +24,10 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
     if (tel) tel->set_cycle(cycle);
     // Masks are drawn sequentially first (mask_for may consume per-client
     // RNG state), then the independent training cycles fan out.
-    std::vector<Client*> roster;
+    std::vector<Client*> roster = fleet.active_clients();
     std::vector<std::vector<std::uint8_t>> masks;
-    roster.reserve(fleet.size());
-    masks.reserve(fleet.size());
-    for (auto& client : fleet.clients()) {
-      roster.push_back(client.get());
+    masks.reserve(roster.size());
+    for (Client* client : roster) {
       masks.push_back(mask_for(*client, cycle));
     }
     std::vector<ClientUpdate> updates = Fleet::parallel_train(
@@ -36,20 +35,14 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
           return client.run_cycle(fleet.server().global(),
                                   fleet.server().global_buffers(), masks[i]);
         });
-    double round_seconds = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
-    for (const ClientUpdate& u : updates) {
-      round_seconds =
-          std::max(round_seconds, u.train_seconds + u.upload_seconds);
-      loss += u.mean_loss;
-      upload += u.upload_mb;
-    }
-    fleet.clock().advance(round_seconds);
-    fleet.server().aggregate(updates, opts);
+    for (const ClientUpdate& u : updates) loss += u.mean_loss;
+    NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
+    fleet.clock().advance(net.round_seconds);
+    fleet.server().aggregate(net.aggregate_span(updates), opts);
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(fleet.size()),
-                             upload});
+                             loss / static_cast<double>(roster.size()),
+                             net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

@@ -90,6 +90,11 @@ class Client {
   /// Straggler bookkeeping (set by identification / target determination).
   bool is_straggler() const { return straggler_; }
   void set_straggler(bool s) { straggler_ = s; }
+  /// Roster membership. A client whose simulated device dies permanently is
+  /// deactivated (not destroyed — ids and telemetry stay stable); the
+  /// strategies skip inactive clients when building rosters.
+  bool active() const { return active_; }
+  void set_active(bool a) { active_ = a; }
   /// Expected model volume (keep ratio P); 1.0 = full model.
   double volume() const { return volume_; }
   void set_volume(double v);
@@ -119,6 +124,7 @@ class Client {
   nn::Sgd opt_;
   data::DataLoader loader_;
   bool straggler_ = false;
+  bool active_ = true;
   double volume_ = 1.0;
   int cycles_completed_ = 0;
   obs::TelemetrySink* telemetry_ = nullptr;

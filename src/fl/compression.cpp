@@ -6,12 +6,27 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fl/transport.h"
 
 namespace helios::fl {
 
+namespace {
+
+/// Exact sparse-delta frame size for `kept` changed entries (see net/wire.h).
+std::size_t sparse_wire_bytes(const ClientUpdate& update,
+                              const net::WireLayout& layout,
+                              std::size_t kept) {
+  const int masked_total =
+      update.trained_mask.empty() ? 0 : layout.neuron_total;
+  return net::sparse_frame_bytes(kept, layout.buffer_count, masked_total);
+}
+
+}  // namespace
+
 CompressionStats compress_update_topk(ClientUpdate& update,
                                       std::span<const float> base,
-                                      double keep_fraction) {
+                                      double keep_fraction,
+                                      const net::WireLayout* layout) {
   if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
     throw std::invalid_argument("compress_update_topk: bad keep_fraction");
   }
@@ -28,6 +43,9 @@ CompressionStats compress_update_topk(ClientUpdate& update,
   stats.total_entries = changed.size();
   if (keep_fraction >= 1.0 || changed.empty()) {
     stats.kept_entries = changed.size();
+    if (layout != nullptr) {
+      stats.wire_bytes = sparse_wire_bytes(update, *layout, changed.size());
+    }
     return stats;
   }
   const std::size_t keep = std::max<std::size_t>(
@@ -52,6 +70,9 @@ CompressionStats compress_update_topk(ClientUpdate& update,
   stats.kept_entries = keep;
   stats.relative_error =
       total_sq > 0.0 ? std::sqrt(dropped_sq / total_sq) : 0.0;
+  if (layout != nullptr) {
+    stats.wire_bytes = sparse_wire_bytes(update, *layout, keep);
+  }
   const double ratio = static_cast<double>(keep) /
                        static_cast<double>(stats.total_entries);
   update.upload_mb *= ratio;
@@ -77,26 +98,24 @@ RunResult CompressedSyncFL::run(Fleet& fleet, int cycles) {
   AggOptions opts;
   for (int cycle = 0; cycle < cycles; ++cycle) {
     const std::vector<float> base(fleet.server().global());
+    std::vector<Client*> roster = fleet.active_clients();
+    const net::WireLayout* layout =
+        fleet.network() != nullptr ? &fleet.network()->layout() : nullptr;
     std::vector<ClientUpdate> updates;
-    double round_seconds = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
-    for (auto& client : fleet.clients()) {
+    for (Client* client : roster) {
       updates.push_back(client->run_cycle(base,
                                           fleet.server().global_buffers(),
                                           {}));
-      compress_update_topk(updates.back(), base, keep_fraction_);
-      round_seconds = std::max(
-          round_seconds,
-          updates.back().train_seconds + updates.back().upload_seconds);
+      compress_update_topk(updates.back(), base, keep_fraction_, layout);
       loss += updates.back().mean_loss;
-      upload += updates.back().upload_mb;
     }
-    fleet.clock().advance(round_seconds);
-    fleet.server().aggregate(updates, opts);
+    NetDelivery net = deliver_round(fleet, updates, base);
+    fleet.clock().advance(net.round_seconds);
+    fleet.server().aggregate(net.aggregate_span(updates), opts);
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(fleet.size()),
-                             upload});
+                             loss / static_cast<double>(roster.size()),
+                             net.upload_mb});
   }
   return result;
 }

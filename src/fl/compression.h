@@ -14,6 +14,7 @@
 #include <span>
 
 #include "fl/strategy.h"
+#include "net/wire.h"
 
 namespace helios::fl {
 
@@ -22,16 +23,24 @@ struct CompressionStats {
   std::size_t kept_entries = 0;   // entries actually shipped
   /// L2 norm of the dropped delta relative to the full delta (0 = lossless).
   double relative_error = 0.0;
+  /// Exact frame size of the compressed update on the wire (sparse-delta
+  /// encoding of the kept entries; see net/wire.h). 0 when no layout was
+  /// supplied.
+  std::size_t wire_bytes = 0;
 };
 
 /// Sparsifies `update` in place: keeps the `keep_fraction` largest |delta|
 /// entries relative to `base` (the global parameters the client trained
 /// from), reverts the rest to `base`, and rescales upload_mb /
 /// upload_seconds by the kept fraction. keep_fraction in (0, 1]; 1 is a
-/// no-op. Buffers are never compressed.
+/// no-op. Buffers are never compressed. When `layout` is given, the stats
+/// report the exact sparse-frame byte count the kept entries would cost on
+/// the wire — compression composes with the wire format: reverted entries
+/// equal the base, so the sparse encoder skips them.
 CompressionStats compress_update_topk(ClientUpdate& update,
                                       std::span<const float> base,
-                                      double keep_fraction);
+                                      double keep_fraction,
+                                      const net::WireLayout* layout = nullptr);
 
 /// Synchronous FedAvg with per-client top-k compression — the comparison
 /// harness for accuracy-vs-communication sweeps.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -25,12 +26,10 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
     if (tel) tel->set_cycle(cycle);
     // Per-client work scales are fixed by straggler volume, so they are
     // computed up front and the independent cycles fan out.
-    std::vector<Client*> roster;
+    std::vector<Client*> roster = fleet.active_clients();
     std::vector<double> work;
-    roster.reserve(fleet.size());
-    work.reserve(fleet.size());
-    for (auto& client : fleet.clients()) {
-      roster.push_back(client.get());
+    work.reserve(roster.size());
+    for (Client* client : roster) {
       work.push_back(client->is_straggler()
                          ? std::clamp(client->volume(), min_work_, 1.0)
                          : 1.0);
@@ -41,20 +40,14 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
                                   fleet.server().global_buffers(), {},
                                   work[i]);
         });
-    double round_seconds = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
-    for (const ClientUpdate& u : updates) {
-      round_seconds =
-          std::max(round_seconds, u.train_seconds + u.upload_seconds);
-      loss += u.mean_loss;
-      upload += u.upload_mb;
-    }
-    fleet.clock().advance(round_seconds);
-    fleet.server().aggregate(updates, opts);
+    for (const ClientUpdate& u : updates) loss += u.mean_loss;
+    NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
+    fleet.clock().advance(net.round_seconds);
+    fleet.server().aggregate(net.aggregate_span(updates), opts);
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(fleet.size()),
-                             upload});
+                             loss / static_cast<double>(roster.size()),
+                             net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

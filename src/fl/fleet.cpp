@@ -33,10 +33,25 @@ void Fleet::set_telemetry(obs::TelemetrySink* sink) {
   if (sink) sink->install();
 }
 
+Client* Fleet::find_client(int id) {
+  for (auto& c : clients_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<Client*> Fleet::active_clients() {
+  std::vector<Client*> out;
+  for (auto& c : clients_) {
+    if (c->active()) out.push_back(c.get());
+  }
+  return out;
+}
+
 std::vector<Client*> Fleet::stragglers() {
   std::vector<Client*> out;
   for (auto& c : clients_) {
-    if (c->is_straggler()) out.push_back(c.get());
+    if (c->active() && c->is_straggler()) out.push_back(c.get());
   }
   return out;
 }
@@ -44,7 +59,7 @@ std::vector<Client*> Fleet::stragglers() {
 std::vector<Client*> Fleet::capable() {
   std::vector<Client*> out;
   for (auto& c : clients_) {
-    if (!c->is_straggler()) out.push_back(c.get());
+    if (c->active() && !c->is_straggler()) out.push_back(c.get());
   }
   return out;
 }

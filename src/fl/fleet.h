@@ -16,6 +16,8 @@ class TelemetrySink;
 
 namespace helios::fl {
 
+class NetworkSession;
+
 class Fleet {
  public:
   /// Builds the global model from `spec` with `seed`; all clients must be
@@ -30,6 +32,10 @@ class Fleet {
   std::size_t size() const { return clients_.size(); }
   Client& client(std::size_t i) { return *clients_.at(i); }
   std::vector<std::unique_ptr<Client>>& clients() { return clients_; }
+  /// Client by id (nullptr if unknown). Ids are stable across churn.
+  Client* find_client(int id);
+  /// Clients currently in the roster (active; excludes dead devices).
+  std::vector<Client*> active_clients();
 
   Server& server() { return server_; }
   const data::Dataset& test_set() const { return test_set_; }
@@ -76,6 +82,11 @@ class Fleet {
   void set_telemetry(obs::TelemetrySink* sink);
   obs::TelemetrySink* telemetry() const { return telemetry_; }
 
+  /// Attached network simulation (nullptr = legacy in-memory handoff).
+  /// Set by NetworkSession's constructor; the fleet does not own it.
+  void set_network(NetworkSession* session) { network_ = session; }
+  NetworkSession* network() const { return network_; }
+
  private:
   models::ModelSpec spec_;
   Server server_;
@@ -83,6 +94,7 @@ class Fleet {
   std::vector<std::unique_ptr<Client>> clients_;
   device::VirtualClock clock_;
   obs::TelemetrySink* telemetry_ = nullptr;
+  NetworkSession* network_ = nullptr;
   int next_id_ = 0;
 };
 

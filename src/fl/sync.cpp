@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fl/transport.h"
 #include "obs/telemetry.h"
 #include "util/rng.h"
 
@@ -30,17 +31,20 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
   for (int cycle = 0; cycle < cycles; ++cycle) {
     HELIOS_TRACE_SPAN("sync.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
-    // Sample this cycle's participants.
+    // Sample this cycle's participants from the active roster (identical to
+    // the full client list — and the legacy RNG stream — absent churn).
+    std::vector<Client*> active = fleet.active_clients();
     std::vector<Client*> participants;
     if (participation_ >= 1.0) {
-      for (auto& c : fleet.clients()) participants.push_back(c.get());
+      participants = active;
     } else {
       const std::size_t k = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::llround(participation_ *
-                              static_cast<double>(fleet.size()))));
-      for (std::size_t idx : rng.sample_without_replacement(fleet.size(), k)) {
-        participants.push_back(&fleet.client(idx));
+                              static_cast<double>(active.size()))));
+      for (std::size_t idx :
+           rng.sample_without_replacement(active.size(), k)) {
+        participants.push_back(active[idx]);
       }
     }
 
@@ -51,20 +55,16 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
           return client.run_cycle(fleet.server().global(),
                                   fleet.server().global_buffers(), {});
         });
-    double round_seconds = 0.0;
     double loss = 0.0;
-    double upload = 0.0;
-    for (const ClientUpdate& u : updates) {
-      round_seconds =
-          std::max(round_seconds, u.train_seconds + u.upload_seconds);
-      loss += u.mean_loss;
-      upload += u.upload_mb;
-    }
-    fleet.clock().advance(round_seconds);
-    fleet.server().aggregate(updates, opts);
+    for (const ClientUpdate& u : updates) loss += u.mean_loss;
+    // The network (if any) decides what arrived and how long the round took;
+    // without a session this is the analytic max(train + upload) closure.
+    NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
+    fleet.clock().advance(net.round_seconds);
+    fleet.server().aggregate(net.aggregate_span(updates), opts);
     result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
                              loss / static_cast<double>(participants.size()),
-                             upload});
+                             net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

@@ -1,0 +1,230 @@
+#include "fl/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace helios::fl {
+
+NetworkSession::NetworkSession(Fleet& fleet, net::NetworkOptions options)
+    : fleet_(fleet),
+      layout_(net::make_wire_layout(fleet.server().reference_model())),
+      protocol_(options) {
+  track_clients();
+  fleet_.set_network(this);
+}
+
+NetworkSession::~NetworkSession() {
+  if (fleet_.network() == this) fleet_.set_network(nullptr);
+}
+
+void NetworkSession::track_clients() {
+  for (auto& c : fleet_.clients()) {
+    if (!protocol_.has_device(c->id())) {
+      protocol_.add_device(c->id(), c->profile().net_bandwidth_mbps);
+    }
+  }
+}
+
+std::vector<std::uint8_t> NetworkSession::encode(
+    const ClientUpdate& update, std::span<const float> base_params) const {
+  net::WireMessage msg;
+  msg.client_id = update.client_id;
+  msg.sample_count = update.sample_count;
+  msg.mean_loss = update.mean_loss;
+  msg.params = update.params;
+  msg.buffers = update.buffers;
+  msg.neuron_mask = update.trained_mask;
+  if (base_params.size() == layout_.param_count) {
+    return net::encode_frame_auto(msg, base_params, layout_);
+  }
+  return net::encode_frame(msg, layout_);
+}
+
+ClientUpdate NetworkSession::decode(std::span<const std::uint8_t> frame,
+                                    std::span<const float> base_params,
+                                    const ClientUpdate& local) const {
+  net::DecodedMessage msg = net::decode_frame(frame, layout_, base_params);
+  ClientUpdate u;
+  u.client_id = msg.client_id;
+  u.params = std::move(msg.params);
+  u.buffers = std::move(msg.buffers);
+  u.trained_mask = std::move(msg.neuron_mask);
+  u.sample_count = static_cast<std::size_t>(msg.sample_count);
+  u.mean_loss = msg.mean_loss;
+  // Virtual-time costs travel out of band (the channel, not the frame,
+  // determines them); keep the sender's analytic values by default.
+  u.train_seconds = local.train_seconds;
+  u.upload_seconds = local.upload_seconds;
+  u.upload_mb = local.upload_mb;
+  return u;
+}
+
+std::size_t NetworkSession::frame_bytes(
+    const ClientUpdate& update, std::span<const float> base_params) const {
+  return encode(update, base_params).size();
+}
+
+void NetworkSession::mark_death(int client_id) {
+  if (Client* c = fleet_.find_client(client_id)) c->set_active(false);
+}
+
+void NetworkSession::record_round(const NetDelivery& d,
+                                  std::size_t frames_delivered) {
+  obs::TelemetrySink* sink = fleet_.telemetry();
+  if (sink == nullptr) return;
+  sink->record_network_round(d.bytes_on_wire,
+                             static_cast<int>(d.delivered.size()),
+                             static_cast<int>(frames_delivered), d.lost_frames,
+                             d.retransmits, d.deadline_misses,
+                             static_cast<int>(d.died.size()));
+}
+
+NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
+                                          std::span<const float> base_params) {
+  track_clients();
+  obs::TelemetrySink* sink = fleet_.telemetry();
+
+  NetDelivery d;
+  d.pass_through = false;
+  d.delivered.assign(updates.size(), 1);
+  d.comm_seconds.resize(updates.size(), 0.0);
+
+  // Legacy analytic round accounting — the kIdeal result, and the deadline
+  // hint for the simulated path.
+  double analytic_round = 0.0;
+  double analytic_mb = 0.0;
+  for (const ClientUpdate& u : updates) {
+    analytic_round =
+        std::max(analytic_round, u.train_seconds + u.upload_seconds);
+    analytic_mb += u.upload_mb;
+  }
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    frames.push_back(encode(u, base_params));
+  }
+
+  if (!simulated()) {
+    // Ideal channel: every frame round-trips through the wire format (an
+    // integrity check — encode/decode is bit-exact) and is counted, but
+    // timing and delivery stay on the analytic path.
+    d.arrived.reserve(updates.size());
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      d.comm_seconds[i] = updates[i].upload_seconds;
+      d.bytes_on_wire += frames[i].size();
+      d.arrived.push_back(decode(frames[i], base_params, updates[i]));
+      if (sink != nullptr) {
+        sink->record_device_transfer(updates[i].client_id, frames[i].size(), 1,
+                                     0, true, false,
+                                     updates[i].upload_seconds);
+      }
+    }
+    d.round_seconds = analytic_round;
+    d.upload_mb = analytic_mb;
+    record_round(d, updates.size());
+    return d;
+  }
+
+  const double round_start = fleet_.clock().now();
+  std::vector<net::RoundProtocol::Send> sends;
+  sends.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    sends.push_back({updates[i].client_id, frames[i].size(),
+                     round_start + updates[i].train_seconds});
+  }
+  const net::RoundProtocol::RoundOutcome out =
+      protocol_.run_round(sends, round_start, analytic_round);
+
+  d.arrived.reserve(static_cast<std::size_t>(out.delivered));
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const net::RoundProtocol::Delivery& del = out.deliveries[i];
+    d.comm_seconds[i] = del.comm_seconds;
+    const bool accepted = del.delivered && !del.deadline_missed;
+    d.delivered[i] = accepted ? 1 : 0;
+    if (del.died) {
+      d.died.push_back(del.device_id);
+      mark_death(del.device_id);
+    }
+    if (accepted) {
+      ClientUpdate u = decode(frames[i], base_params, updates[i]);
+      u.upload_seconds = del.comm_seconds;
+      u.upload_mb = static_cast<double>(del.bytes_on_wire) / 1e6;
+      d.arrived.push_back(std::move(u));
+    }
+    if (sink != nullptr) {
+      sink->record_device_transfer(del.device_id, del.bytes_on_wire,
+                                   del.transmissions, del.lost_frames,
+                                   accepted, del.died, del.comm_seconds);
+    }
+  }
+  d.round_seconds = out.round_close_s - round_start;
+  d.upload_mb = static_cast<double>(out.bytes_on_wire) / 1e6;
+  d.bytes_on_wire = out.bytes_on_wire;
+  d.retransmits = out.retransmits;
+  d.lost_frames = out.lost_frames;
+  d.deadline_misses = out.deadline_misses;
+  record_round(d, static_cast<std::size_t>(out.delivered));
+  return d;
+}
+
+NetworkSession::SingleDelivery NetworkSession::deliver_update(
+    const ClientUpdate& update, std::span<const float> base_params,
+    double start_s) {
+  track_clients();
+  obs::TelemetrySink* sink = fleet_.telemetry();
+  const std::vector<std::uint8_t> frame = encode(update, base_params);
+
+  SingleDelivery s;
+  if (!simulated()) {
+    s.update = decode(frame, base_params, update);
+    s.comm_seconds = update.upload_seconds;
+    s.settle_s = start_s + update.upload_seconds;
+    if (sink != nullptr) {
+      sink->record_device_transfer(update.client_id, frame.size(), 1, 0, true,
+                                   false, update.upload_seconds);
+    }
+    return s;
+  }
+
+  const net::RoundProtocol::Delivery del =
+      protocol_.send_with_retries(update.client_id, frame.size(), start_s,
+                                  /*deadline_abs_s=*/0.0);
+  s.delivered = del.delivered;
+  s.died = del.died;
+  s.comm_seconds = del.comm_seconds;
+  s.settle_s = del.settle_s;
+  if (del.died) mark_death(del.device_id);
+  if (del.delivered) {
+    s.update = decode(frame, base_params, update);
+    s.update.upload_seconds = del.comm_seconds;
+    s.update.upload_mb = static_cast<double>(del.bytes_on_wire) / 1e6;
+  }
+  if (sink != nullptr) {
+    sink->record_device_transfer(del.device_id, del.bytes_on_wire,
+                                 del.transmissions, del.lost_frames,
+                                 del.delivered, del.died, del.comm_seconds);
+  }
+  return s;
+}
+
+NetDelivery deliver_round(Fleet& fleet, std::span<const ClientUpdate> updates,
+                          std::span<const float> base_params) {
+  if (NetworkSession* session = fleet.network()) {
+    return session->deliver_round(updates, base_params);
+  }
+  NetDelivery d;  // pass_through: aggregate `updates` directly
+  d.delivered.assign(updates.size(), 1);
+  d.comm_seconds.reserve(updates.size());
+  for (const ClientUpdate& u : updates) {
+    d.comm_seconds.push_back(u.upload_seconds);
+    d.round_seconds =
+        std::max(d.round_seconds, u.train_seconds + u.upload_seconds);
+    d.upload_mb += u.upload_mb;
+  }
+  return d;
+}
+
+}  // namespace helios::fl

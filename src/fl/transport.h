@@ -1,0 +1,138 @@
+// NetworkSession — the glue between the fleet's federated round loop and
+// the src/net simulation (wire format + channels + round protocol).
+//
+// Attach one to a fleet to make every strategy's uploads cross a simulated
+// network:
+//
+//   net::NetworkOptions opts;
+//   opts.mode = net::NetMode::kSimulated;
+//   opts.channel.loss_prob = 0.05;
+//   fl::NetworkSession session(fleet, opts);   // also registers channels
+//   session.protocol().script_death(3, 120.0); // optional fault scripting
+//   ... run any strategy ...
+//
+// Modes:
+//   * kIdeal (default NetworkOptions) — every update is encoded to a frame,
+//     integrity-checked, decoded and counted (bytes-on-wire telemetry), but
+//     delivery is perfect and all virtual times stay on the analytic M/B_n
+//     path: RunResults are bit-identical to a run with no session attached.
+//   * kSimulated — upload_seconds comes from the serialized frame's actual
+//     transfer (size / bandwidth + latency + jitter + retries), frames can
+//     be lost or miss the round deadline (the round aggregates whatever
+//     arrived — Server::aggregate renormalizes the alpha_n weights over the
+//     actual arrivals), and a device whose channel dies is deactivated in
+//     the fleet roster.
+//
+// Strategies call deliver_round / deliver_update through the fleet's
+// attached session; with none attached they keep the exact legacy path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fl/fleet.h"
+#include "net/round_protocol.h"
+#include "net/wire.h"
+
+namespace helios::fl {
+
+/// What the server saw of one synchronous round.
+struct NetDelivery {
+  /// True when no simulation ran and the caller should aggregate its local
+  /// updates directly (no session attached).
+  bool pass_through = true;
+  /// Server-side arrivals, decoded from frames (empty when pass_through).
+  std::vector<ClientUpdate> arrived;
+  /// Per *input* update: whether its frame was accepted in time.
+  std::vector<std::uint8_t> delivered;
+  /// Per input update: the device's actual upload time (analytic on the
+  /// pass-through/ideal paths; wire-driven incl. retries when simulated).
+  std::vector<double> comm_seconds;
+  /// Round duration: max over participants of train + comm, deadline-capped
+  /// when the protocol enforces one.
+  double round_seconds = 0.0;
+  /// Round communication volume for the RoundRecord: the analytic sum on
+  /// the pass-through/ideal paths, real bytes-on-wire / 1e6 when simulated.
+  double upload_mb = 0.0;
+  std::size_t bytes_on_wire = 0;
+  int retransmits = 0;
+  int lost_frames = 0;
+  int deadline_misses = 0;
+  /// Clients deactivated this round because their device died mid-upload.
+  std::vector<int> died;
+
+  /// The updates the server aggregates: the arrivals, or `local` when the
+  /// delivery passed through.
+  std::span<const ClientUpdate> aggregate_span(
+      std::span<const ClientUpdate> local) const {
+    return pass_through ? local : std::span<const ClientUpdate>(arrived);
+  }
+};
+
+class NetworkSession {
+ public:
+  /// Builds the wire layout from the fleet's server reference model,
+  /// registers a channel per existing client, and attaches itself via
+  /// Fleet::set_network. The session must outlive the fleet's use of it.
+  NetworkSession(Fleet& fleet, net::NetworkOptions options);
+  ~NetworkSession();
+
+  NetworkSession(const NetworkSession&) = delete;
+  NetworkSession& operator=(const NetworkSession&) = delete;
+
+  const net::NetworkOptions& options() const { return protocol_.options(); }
+  net::RoundProtocol& protocol() { return protocol_; }
+  const net::WireLayout& layout() const { return layout_; }
+  bool simulated() const {
+    return options().mode == net::NetMode::kSimulated;
+  }
+
+  /// Delivers one synchronous round of updates. `base_params` is the global
+  /// snapshot the clients trained from (fills unshipped entries at decode).
+  /// Registers channels for any clients added since the last call, and
+  /// deactivates clients whose devices died.
+  NetDelivery deliver_round(std::span<const ClientUpdate> updates,
+                            std::span<const float> base_params);
+
+  /// One update outside a synchronous round (the asynchronous strategies'
+  /// per-completion path). `start_s` is when the upload begins.
+  struct SingleDelivery {
+    bool delivered = true;
+    bool died = false;
+    double comm_seconds = 0.0;
+    /// Absolute virtual time the frame settled.
+    double settle_s = 0.0;
+    ClientUpdate update;  // decoded arrival (valid when delivered)
+  };
+  SingleDelivery deliver_update(const ClientUpdate& update,
+                                std::span<const float> base_params,
+                                double start_s);
+
+  /// Encodes `update` exactly as deliver would and returns the frame size.
+  std::size_t frame_bytes(const ClientUpdate& update,
+                          std::span<const float> base_params) const;
+
+ private:
+  void track_clients();
+  std::vector<std::uint8_t> encode(const ClientUpdate& update,
+                                   std::span<const float> base_params) const;
+  ClientUpdate decode(std::span<const std::uint8_t> frame,
+                      std::span<const float> base_params,
+                      const ClientUpdate& local) const;
+  void mark_death(int client_id);
+  void record_round(const NetDelivery& d, std::size_t frames_delivered);
+
+  Fleet& fleet_;
+  net::WireLayout layout_;
+  net::RoundProtocol protocol_;
+};
+
+/// Legacy-path round closure shared by the synchronous strategies: without
+/// a session the round lasts as long as the slowest train + analytic upload
+/// and every update arrives. Bit-identical to the pre-network loops.
+NetDelivery deliver_round(Fleet& fleet,
+                          std::span<const ClientUpdate> updates,
+                          std::span<const float> base_params);
+
+}  // namespace helios::fl

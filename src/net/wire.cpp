@@ -1,0 +1,376 @@
+#include "net/wire.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace helios::net {
+namespace {
+
+// ---- CRC32 (IEEE 802.3, reflected) ----------------------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// ---- Little-endian byte IO -------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    require(n);
+    auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw WireError("wire: truncated frame");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// True when flat index `f` ships in a dense frame under `mask`.
+inline bool shipped(const WireLayout& layout,
+                    std::span<const std::uint8_t> mask, std::size_t f) {
+  const std::uint32_t n = layout.neuron_of[f];
+  return mask.empty() || n == WireLayout::kCommonParam || mask[n] != 0;
+}
+
+void write_header(Writer& w, std::uint16_t flags, std::int32_t client_id,
+                  std::uint32_t neuron_total, std::uint64_t param_count,
+                  std::uint64_t buffer_count, std::uint64_t payload_count,
+                  std::uint64_t sample_count, double mean_loss) {
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(flags);
+  w.u32(std::bit_cast<std::uint32_t>(client_id));
+  w.u32(neuron_total);
+  w.u64(param_count);
+  w.u64(buffer_count);
+  w.u64(payload_count);
+  w.u64(sample_count);
+  w.f64(mean_loss);
+}
+
+void append_packed_mask(std::vector<std::uint8_t>& out,
+                        std::span<const std::uint8_t> mask) {
+  const std::size_t bytes = mask_wire_bytes(static_cast<int>(mask.size()));
+  for (std::size_t b = 0; b < bytes; ++b) {
+    std::uint8_t packed = 0;
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      const std::size_t i = b * 8 + bit;
+      if (i < mask.size() && mask[i] != 0) {
+        packed |= static_cast<std::uint8_t>(1U << bit);
+      }
+    }
+    out.push_back(packed);
+  }
+}
+
+void check_message(const WireMessage& msg, const WireLayout& layout) {
+  if (msg.params.size() != layout.param_count) {
+    throw WireError("wire: message param count does not match layout");
+  }
+  if (msg.buffers.size() != layout.buffer_count) {
+    throw WireError("wire: message buffer count does not match layout");
+  }
+  if (!msg.neuron_mask.empty() &&
+      msg.neuron_mask.size() != static_cast<std::size_t>(layout.neuron_total)) {
+    throw WireError("wire: message mask size does not match layout");
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+WireLayout make_wire_layout(nn::Model& model) {
+  WireLayout layout;
+  layout.param_count = model.param_count();
+  layout.buffer_count = model.buffer_count();
+  layout.neuron_total = model.neuron_total();
+  layout.neuron_of.assign(layout.param_count, WireLayout::kCommonParam);
+  const auto& neurons = model.neurons();
+  for (std::size_t j = 0; j < neurons.size(); ++j) {
+    for (const nn::FlatSlice& s : neurons[j].slices) {
+      std::fill_n(layout.neuron_of.begin() +
+                      static_cast<std::ptrdiff_t>(s.offset),
+                  s.length, static_cast<std::uint32_t>(j));
+    }
+  }
+  return layout;
+}
+
+std::size_t mask_wire_bytes(int neuron_total) {
+  return neuron_total <= 0
+             ? 0
+             : (static_cast<std::size_t>(neuron_total) + 7) / 8;
+}
+
+std::size_t dense_payload_count(const WireLayout& layout,
+                                std::span<const std::uint8_t> mask) {
+  if (mask.empty()) return layout.param_count;
+  std::size_t count = 0;
+  for (std::size_t f = 0; f < layout.param_count; ++f) {
+    count += shipped(layout, mask, f);
+  }
+  return count;
+}
+
+std::size_t dense_frame_bytes(const WireLayout& layout,
+                              std::span<const std::uint8_t> mask) {
+  return kHeaderBytes +
+         mask_wire_bytes(static_cast<int>(mask.size())) +
+         dense_payload_count(layout, mask) * sizeof(float) +
+         layout.buffer_count * sizeof(float) + kTrailerBytes;
+}
+
+std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
+                               int masked_neuron_total) {
+  return kHeaderBytes + mask_wire_bytes(masked_neuron_total) +
+         entries * (sizeof(std::uint32_t) + sizeof(float)) +
+         buffer_count * sizeof(float) + kTrailerBytes;
+}
+
+std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
+                                       const WireLayout& layout) {
+  check_message(msg, layout);
+  std::vector<std::uint8_t> out;
+  out.reserve(dense_frame_bytes(layout, msg.neuron_mask));
+  Writer w(out);
+  const bool has_mask = !msg.neuron_mask.empty();
+  const std::size_t payload = dense_payload_count(layout, msg.neuron_mask);
+  write_header(w, has_mask ? kFlagHasMask : 0, msg.client_id,
+               has_mask ? static_cast<std::uint32_t>(layout.neuron_total) : 0,
+               layout.param_count, layout.buffer_count, payload,
+               msg.sample_count, msg.mean_loss);
+  if (has_mask) append_packed_mask(out, msg.neuron_mask);
+  for (std::size_t f = 0; f < layout.param_count; ++f) {
+    if (shipped(layout, msg.neuron_mask, f)) w.f32(msg.params[f]);
+  }
+  for (float v : msg.buffers) w.f32(v);
+  w.u32(crc32(out));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame_sparse(const WireMessage& msg,
+                                              std::span<const float> base,
+                                              const WireLayout& layout) {
+  check_message(msg, layout);
+  if (base.size() != layout.param_count) {
+    throw WireError("wire: sparse base does not match layout");
+  }
+  std::vector<std::uint32_t> changed;
+  for (std::size_t f = 0; f < layout.param_count; ++f) {
+    if (msg.params[f] != base[f]) {
+      changed.push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+  std::vector<std::uint8_t> out;
+  const bool has_mask = !msg.neuron_mask.empty();
+  out.reserve(sparse_frame_bytes(changed.size(), layout.buffer_count,
+                                 has_mask ? layout.neuron_total : 0));
+  Writer w(out);
+  write_header(w, static_cast<std::uint16_t>(
+                      kFlagSparse | (has_mask ? kFlagHasMask : 0)),
+               msg.client_id,
+               has_mask ? static_cast<std::uint32_t>(layout.neuron_total) : 0,
+               layout.param_count, layout.buffer_count, changed.size(),
+               msg.sample_count, msg.mean_loss);
+  if (has_mask) append_packed_mask(out, msg.neuron_mask);
+  for (std::uint32_t f : changed) {
+    w.u32(f);
+    w.f32(msg.params[f]);
+  }
+  for (float v : msg.buffers) w.f32(v);
+  w.u32(crc32(out));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
+                                            std::span<const float> base,
+                                            const WireLayout& layout) {
+  check_message(msg, layout);
+  if (base.size() != layout.param_count) return encode_frame(msg, layout);
+  std::size_t changed = 0;
+  for (std::size_t f = 0; f < layout.param_count; ++f) {
+    changed += (msg.params[f] != base[f]);
+  }
+  const std::size_t sparse = sparse_frame_bytes(
+      changed, layout.buffer_count,
+      msg.neuron_mask.empty() ? 0 : layout.neuron_total);
+  const std::size_t dense = dense_frame_bytes(layout, msg.neuron_mask);
+  return sparse < dense ? encode_frame_sparse(msg, base, layout)
+                        : encode_frame(msg, layout);
+}
+
+DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
+                            const WireLayout& layout,
+                            std::span<const float> base_params) {
+  if (frame.size() < kHeaderBytes + kTrailerBytes) {
+    throw WireError("wire: frame shorter than header + trailer");
+  }
+  // Integrity first: a flipped bit anywhere (header included) must be
+  // rejected before any field is trusted.
+  Reader crc_reader(frame.subspan(frame.size() - kTrailerBytes));
+  const std::uint32_t stored_crc = crc_reader.u32();
+  if (crc32(frame.first(frame.size() - kTrailerBytes)) != stored_crc) {
+    throw WireError("wire: CRC mismatch");
+  }
+
+  Reader r(frame);
+  if (r.u32() != kWireMagic) throw WireError("wire: bad magic");
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion) {
+    throw WireError("wire: unsupported version " + std::to_string(version));
+  }
+  const std::uint16_t flags = r.u16();
+  DecodedMessage msg;
+  msg.client_id = std::bit_cast<std::int32_t>(r.u32());
+  const std::uint32_t neuron_total = r.u32();
+  const std::uint64_t param_count = r.u64();
+  const std::uint64_t buffer_count = r.u64();
+  const std::uint64_t payload_count = r.u64();
+  msg.sample_count = r.u64();
+  msg.mean_loss = r.f64();
+  msg.sparse = (flags & kFlagSparse) != 0;
+  const bool has_mask = (flags & kFlagHasMask) != 0;
+
+  if (param_count != layout.param_count ||
+      buffer_count != layout.buffer_count) {
+    throw WireError("wire: frame built for a different architecture");
+  }
+  if (has_mask &&
+      neuron_total != static_cast<std::uint32_t>(layout.neuron_total)) {
+    throw WireError("wire: frame mask sized for a different architecture");
+  }
+  if (!has_mask && neuron_total != 0) {
+    throw WireError("wire: stray neuron_total without mask flag");
+  }
+
+  if (has_mask) {
+    const std::span<const std::uint8_t> packed =
+        r.raw(mask_wire_bytes(static_cast<int>(neuron_total)));
+    msg.neuron_mask.resize(neuron_total);
+    for (std::size_t i = 0; i < msg.neuron_mask.size(); ++i) {
+      msg.neuron_mask[i] = (packed[i / 8] >> (i % 8)) & 1U;
+    }
+  }
+
+  const bool needs_base =
+      msg.sparse || (has_mask && dense_payload_count(layout, msg.neuron_mask) <
+                                     layout.param_count);
+  if (needs_base && base_params.size() != layout.param_count) {
+    throw WireError("wire: partial frame requires the base snapshot");
+  }
+
+  if (msg.sparse) {
+    msg.params.assign(base_params.begin(), base_params.end());
+    for (std::uint64_t i = 0; i < payload_count; ++i) {
+      const std::uint32_t f = r.u32();
+      const float v = r.f32();
+      if (f >= layout.param_count) {
+        throw WireError("wire: sparse index out of range");
+      }
+      msg.params[f] = v;
+    }
+  } else {
+    if (payload_count != dense_payload_count(layout, msg.neuron_mask)) {
+      throw WireError("wire: dense payload count does not match mask");
+    }
+    if (has_mask) {
+      msg.params.assign(base_params.begin(), base_params.end());
+    } else {
+      msg.params.resize(layout.param_count);
+    }
+    for (std::size_t f = 0; f < layout.param_count; ++f) {
+      if (shipped(layout, msg.neuron_mask, f)) msg.params[f] = r.f32();
+    }
+  }
+
+  msg.buffers.resize(layout.buffer_count);
+  for (std::size_t i = 0; i < layout.buffer_count; ++i) {
+    msg.buffers[i] = r.f32();
+  }
+  if (r.pos() != frame.size() - kTrailerBytes) {
+    throw WireError("wire: frame length does not match payload counts");
+  }
+  return msg;
+}
+
+}  // namespace helios::net

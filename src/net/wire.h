@@ -1,0 +1,150 @@
+// Wire format for federated submodel updates.
+//
+// A ClientUpdate crosses the simulated network as one versioned binary
+// frame: a fixed header, an optional packed per-neuron bitmask, a payload
+// carrying only the parameters the client actually trained, the full
+// non-learnable buffer vector, and a CRC32 trailer. A P_i-shrunk straggler
+// upload is therefore proportionally smaller *on the wire*, and the exact
+// frame byte count — not the analytic M/B_n estimate — can drive
+// upload_seconds and the virtual clock.
+//
+// Two payload encodings exist; the encoder picks whichever is smaller:
+//   * dense  — the flat parameters of every shipped index (active-neuron
+//     slices plus the common, non-neuron-owned parameters), in flat order;
+//   * sparse — (u32 index, f32 value) pairs of the entries that differ from
+//     the base snapshot the client trained from. Top-k-compressed updates
+//     revert dropped entries to the base, so this encoding makes the frame
+//     size track the kept fraction.
+//
+// Frame layout (all integers little-endian, floats as little-endian IEEE754
+// bit patterns):
+//
+//   offset  size  field
+//        0     4  magic "HWF1"
+//        4     2  version (= 1)
+//        6     2  flags (bit 0: neuron mask present; bit 1: sparse payload)
+//        8     4  client_id (i32)
+//       12     4  neuron_total (mask bit count; 0 when no mask)
+//       16     8  param_count  (full flat parameter count, validated)
+//       24     8  buffer_count
+//       32     8  payload_count (dense: shipped floats; sparse: pairs)
+//       40     8  sample_count
+//       48     8  mean_loss (f64)
+//       56     -  mask bytes, ceil(neuron_total / 8), LSB-first (if bit 0)
+//        -     -  payload (dense: 4 B/entry; sparse: 8 B/entry)
+//        -     -  buffers (4 B each)
+//        -     4  CRC32 (IEEE 802.3) over every preceding byte
+//
+// Decoding validates magic, version, CRC, counts and exact frame length,
+// and throws WireError on any mismatch (corruption, truncation, or a frame
+// built for a different architecture).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace helios::net {
+
+/// Malformed / corrupted / mismatched frame.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x31465748U;  // "HWF1"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 56;
+inline constexpr std::size_t kTrailerBytes = 4;  // CRC32
+
+enum WireFlags : std::uint16_t {
+  kFlagHasMask = 1U << 0,
+  kFlagSparse = 1U << 1,
+};
+
+/// Static description of a model's flat layout, shared by encoder and
+/// decoder (both sides build it from the same ModelSpec-built model).
+struct WireLayout {
+  std::size_t param_count = 0;
+  std::size_t buffer_count = 0;
+  int neuron_total = 0;
+  /// Per flat parameter index: owning global neuron id, or kCommonParam for
+  /// parameters no neuron owns (e.g. the classifier head) — those ship with
+  /// every frame.
+  std::vector<std::uint32_t> neuron_of;
+
+  static constexpr std::uint32_t kCommonParam = 0xFFFFFFFFU;
+};
+
+/// Builds the layout from a finalized model (the server's reference model).
+WireLayout make_wire_layout(nn::Model& model);
+
+/// Encoder input: what one upload carries. Spans alias caller storage.
+struct WireMessage {
+  std::int32_t client_id = -1;
+  std::uint64_t sample_count = 0;
+  double mean_loss = 0.0;
+  std::span<const float> params;              // full flat vector
+  std::span<const float> buffers;             // full buffer vector
+  std::span<const std::uint8_t> neuron_mask;  // empty = full model
+};
+
+/// Decoder output; `params` is the reconstructed *full* flat vector
+/// (unshipped entries filled from the base snapshot).
+struct DecodedMessage {
+  std::int32_t client_id = -1;
+  std::uint64_t sample_count = 0;
+  double mean_loss = 0.0;
+  bool sparse = false;
+  std::vector<float> params;
+  std::vector<float> buffers;
+  std::vector<std::uint8_t> neuron_mask;  // unpacked to 0/1; empty = full
+};
+
+/// Packed mask size: ceil(neuron_total / 8); 0 for an empty mask.
+std::size_t mask_wire_bytes(int neuron_total);
+
+/// Number of floats a dense frame ships under `mask` (empty = all).
+std::size_t dense_payload_count(const WireLayout& layout,
+                                std::span<const std::uint8_t> mask);
+
+/// Exact dense frame size in bytes for an update under `mask`.
+std::size_t dense_frame_bytes(const WireLayout& layout,
+                              std::span<const std::uint8_t> mask);
+
+/// Exact sparse frame size for `entries` changed values. `neuron_total`
+/// sizes the carried mask (0 when the update has no mask).
+std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
+                               int masked_neuron_total);
+
+/// Encodes `msg` as a dense frame.
+std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
+                                       const WireLayout& layout);
+
+/// Encodes `msg` as a sparse-delta frame against `base` (the global
+/// parameters the client trained from).
+std::vector<std::uint8_t> encode_frame_sparse(const WireMessage& msg,
+                                              std::span<const float> base,
+                                              const WireLayout& layout);
+
+/// Picks whichever encoding is smaller for this message.
+std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
+                                            std::span<const float> base,
+                                            const WireLayout& layout);
+
+/// Decodes and validates a frame. `base_params` supplies the values of
+/// unshipped entries; it must have layout.param_count entries whenever the
+/// frame is masked or sparse (it may be empty for a full dense frame).
+DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
+                            const WireLayout& layout,
+                            std::span<const float> base_params);
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+}  // namespace helios::net

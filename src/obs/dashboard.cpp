@@ -20,20 +20,23 @@ void StragglerDashboard::render(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   util::Table table({"device", "role", "volume", "cycles", "r_n", "alpha_n",
                      "forced", "C_s 0/1/2/3+", "compute (s)", "comm (s)",
-                     "upload (MB)"});
+                     "upload (MB)", "wire (MB)", "retx", "drops"});
   for (const auto& [id, d] : devices_) {
     const std::string cs = std::to_string(d.cs_hist[0]) + "/" +
                            std::to_string(d.cs_hist[1]) + "/" +
                            std::to_string(d.cs_hist[2]) + "/" +
                            std::to_string(d.cs_hist[3]);
-    table.add_row({d.name.empty() ? std::to_string(id) : d.name,
-                   d.straggler ? "straggler" : "capable",
+    std::string role = d.straggler ? "straggler" : "capable";
+    if (d.dead) role += " (dead)";
+    table.add_row({d.name.empty() ? std::to_string(id) : d.name, role,
                    util::Table::num(d.volume, 2), std::to_string(d.cycles),
                    util::Table::num(d.r_n, 3), util::Table::num(d.alpha_n, 3),
                    std::to_string(d.forced_neurons), cs,
                    util::Table::num(d.compute_seconds, 3),
                    util::Table::num(d.comm_seconds, 3),
-                   util::Table::num(d.upload_mb, 2)});
+                   util::Table::num(d.upload_mb, 2),
+                   util::Table::num(static_cast<double>(d.wire_bytes) / 1e6, 2),
+                   std::to_string(d.retransmits), std::to_string(d.drops)});
   }
   table.print(os);
 }
@@ -58,6 +61,12 @@ void StragglerDashboard::write_json(std::ostream& os) const {
        << ",\"compute_seconds\":" << d.compute_seconds
        << ",\"comm_seconds\":" << d.comm_seconds
        << ",\"upload_mb\":" << d.upload_mb
+       << ",\"wire_bytes\":" << d.wire_bytes
+       << ",\"frames_sent\":" << d.frames_sent
+       << ",\"frames_lost\":" << d.frames_lost
+       << ",\"retransmits\":" << d.retransmits
+       << ",\"drops\":" << d.drops
+       << ",\"dead\":" << (d.dead ? "true" : "false")
        << ",\"last_loss\":" << d.last_loss << '}';
   }
   os << "\n]\n";

@@ -42,6 +42,15 @@ struct DeviceStats {
   long long forced_neurons = 0;
   std::array<int, 4> cs_hist{0, 0, 0, 0};
 
+  // Network simulation, accumulated per transfer (zero unless a
+  // NetworkSession is attached).
+  long long wire_bytes = 0;     // bytes that actually transited the wire
+  int frames_sent = 0;          // transmissions (retransmits included)
+  int frames_lost = 0;
+  int retransmits = 0;
+  int drops = 0;                // transfers the server never accepted
+  bool dead = false;            // device's channel died permanently
+
   double mean_r_n() const {
     return r_n_count > 0 ? r_n_sum / r_n_count : r_n;
   }

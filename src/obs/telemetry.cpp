@@ -1,5 +1,6 @@
 #include "obs/telemetry.h"
 
+#include <algorithm>
 #include <string>
 
 #include "util/log.h"
@@ -154,6 +155,57 @@ void TelemetrySink::record_cycle_result(std::string_view strategy, int cycle,
                       {"accuracy", accuracy},
                       {"strategy", strategy}});
   }
+}
+
+void TelemetrySink::record_device_transfer(int device,
+                                           std::size_t bytes_on_wire,
+                                           int transmissions, int lost_frames,
+                                           bool delivered, bool died,
+                                           double comm_seconds) {
+  const LabelSet labels{{"device", device_label(device)}};
+  metrics_.counter("helios.net.bytes_on_wire_total", labels)
+      .add(static_cast<double>(bytes_on_wire));
+  metrics_.counter("helios.net.frames_sent_total", labels)
+      .add(static_cast<double>(transmissions));
+  if (lost_frames > 0) {
+    metrics_.counter("helios.net.frames_lost_total", labels)
+        .add(static_cast<double>(lost_frames));
+  }
+  if (!delivered) metrics_.counter("helios.net.drops_total", labels).add(1.0);
+  if (died) metrics_.counter("helios.net.device_deaths_total", labels).add(1.0);
+  metrics_.histogram("helios.net.comm_seconds", labels).observe(comm_seconds);
+
+  dashboard_.update(device, [&](DeviceStats& d) {
+    d.wire_bytes += static_cast<long long>(bytes_on_wire);
+    d.frames_sent += transmissions;
+    d.frames_lost += lost_frames;
+    d.retransmits += std::max(0, transmissions - 1);
+    if (!delivered) ++d.drops;
+    if (died) d.dead = true;
+  });
+
+  if (tracer_ && died) {
+    tracer_->instant("device.death", {{"device", device}});
+  }
+}
+
+void TelemetrySink::record_network_round(std::size_t bytes_on_wire,
+                                         int participants, int delivered,
+                                         int lost_frames, int retransmits,
+                                         int deadline_misses, int deaths) {
+  metrics_.counter("helios.net.round_bytes_on_wire_total")
+      .add(static_cast<double>(bytes_on_wire));
+  metrics_.counter("helios.net.round_participants_total")
+      .add(static_cast<double>(participants));
+  metrics_.counter("helios.net.round_delivered_total")
+      .add(static_cast<double>(delivered));
+  metrics_.counter("helios.net.round_lost_total")
+      .add(static_cast<double>(lost_frames));
+  metrics_.counter("helios.net.round_retransmits_total")
+      .add(static_cast<double>(retransmits));
+  metrics_.counter("helios.net.deadline_missed_total")
+      .add(static_cast<double>(deadline_misses));
+  metrics_.counter("helios.net.deaths_total").add(static_cast<double>(deaths));
 }
 
 void TelemetrySink::flush() {

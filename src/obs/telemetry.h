@@ -107,6 +107,18 @@ class TelemetrySink {
                            double virtual_time, double accuracy,
                            double mean_loss, double upload_mb);
 
+  /// One device's upload transfer across the simulated network (attempts
+  /// collapsed): actual bytes on the wire, transmissions incl. retransmits,
+  /// whether the server accepted the frame, and whether the channel died.
+  void record_device_transfer(int device, std::size_t bytes_on_wire,
+                              int transmissions, int lost_frames,
+                              bool delivered, bool died, double comm_seconds);
+
+  /// One synchronous round's network totals.
+  void record_network_round(std::size_t bytes_on_wire, int participants,
+                            int delivered, int lost_frames, int retransmits,
+                            int deadline_misses, int deaths);
+
   // ---- Exports ----
 
   void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }

@@ -2,12 +2,14 @@
 // HELIOS_THREADS=1 and HELIOS_THREADS=4 must produce bit-identical results
 // — identical accuracy traces and identical final global parameters.
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/helios_strategy.h"
 #include "fl/sync.h"
+#include "fl/transport.h"
 #include "test_support.h"
 #include "util/thread_pool.h"
 
@@ -25,9 +27,14 @@ struct Snapshot {
 };
 
 template <typename MakeStrategy>
-Snapshot run_with_threads(int threads, MakeStrategy make, int cycles) {
+Snapshot run_with_threads(int threads, MakeStrategy make, int cycles,
+                          bool ideal_network = false) {
   util::set_global_threads(threads);
   fl::Fleet fleet = testing::make_fleet();
+  std::optional<fl::NetworkSession> session;
+  if (ideal_network) {
+    session.emplace(fleet, net::NetworkOptions{});  // default = kIdeal
+  }
   auto strategy = make();
   Snapshot snap;
   snap.result = strategy.run(fleet, cycles);
@@ -75,6 +82,29 @@ TEST(DeterminismTest, SyncFLBitIdenticalAcrossThreadCounts) {
   const Snapshot seq = run_with_threads(1, make, 4);
   const Snapshot par = run_with_threads(4, make, 4);
   expect_identical(seq, par);
+}
+
+// The default (ideal-channel) NetworkOptions must reproduce the no-network
+// results bit-for-bit — frames are encoded, checked and counted, but never
+// perturb timing, delivery, or arithmetic — at 1 and 4 threads alike.
+TEST(DeterminismTest, HeliosIdealNetworkBitIdenticalToNoNetwork) {
+  ThreadGuard guard;
+  auto make = [] { return core::HeliosStrategy(core::HeliosConfig{}); };
+  const Snapshot plain1 = run_with_threads(1, make, 4);
+  const Snapshot net1 = run_with_threads(1, make, 4, /*ideal_network=*/true);
+  expect_identical(plain1, net1);
+  const Snapshot net4 = run_with_threads(4, make, 4, /*ideal_network=*/true);
+  expect_identical(plain1, net4);
+}
+
+TEST(DeterminismTest, SyncFLIdealNetworkBitIdenticalToNoNetwork) {
+  ThreadGuard guard;
+  auto make = [] { return fl::SyncFL(); };
+  const Snapshot plain1 = run_with_threads(1, make, 4);
+  const Snapshot net1 = run_with_threads(1, make, 4, /*ideal_network=*/true);
+  expect_identical(plain1, net1);
+  const Snapshot net4 = run_with_threads(4, make, 4, /*ideal_network=*/true);
+  expect_identical(plain1, net4);
 }
 
 }  // namespace
