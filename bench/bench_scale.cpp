@@ -1,0 +1,156 @@
+// Population-scale benchmark: how does throughput and memory behave as the
+// fleet grows from the paper's testbed size to a sampled population?
+//
+// For fleet sizes 8 / 64 / 256 / 1024 (mobile-longtail preset, cohort
+// sampling at C = max(0.05, 4/N), 5 rounds), Helios and Syn. FL each
+// report rounds per wall-clock second, the peak live-replica footprint
+// (the sum of materialized client models — the memory the lazy-client
+// design is bounding), and the process peak RSS. Written machine-readably
+// to BENCH_scale.json so CI can track scaling regressions.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/straggler_id.h"
+#include "core/target.h"
+#include "sim/population.h"
+#include "sim/sampler.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace helios;
+
+struct ScaleStats {
+  double accuracy = 0.0;
+  double wall_seconds = 0.0;
+  double rounds_per_second = 0.0;
+  double peak_replica_mb = 0.0;   // max over rounds of live replica bytes
+  double final_replica_mb = 0.0;  // after the last round's hibernation
+  double peak_rss_mb = 0.0;       // process-wide (monotone across runs)
+  std::size_t cohort_rounds = 0;  // sampled client-rounds
+};
+
+double peak_rss_mb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+ScaleStats run_once(const std::string& method, int devices, int cycles) {
+  const sim::PopulationGenerator pop(sim::mobile_longtail(devices));
+  fl::Fleet fleet = sim::build_fleet(pop);
+  // Flag the slowest quarter (rank-based suits a long tail) and assign
+  // profiled volumes — all analytic, no replica materializes for this.
+  const core::StragglerReport report = core::StragglerIdentifier::time_based(
+      fleet, std::max(1, devices / 4));
+  core::StragglerIdentifier::apply(fleet, report);
+  core::TargetDeterminer::assign_profiled(fleet, report);
+
+  sim::CohortSampler::Options sopts;
+  sopts.fraction = std::max(0.05, 4.0 / devices);
+  sopts.seed = 29;
+  sim::CohortSampler sampler(sopts);
+  sampler.attach(&fleet);
+  fleet.set_sampler(&sampler);
+
+  auto strategy = bench::make_strategy(method);
+  ScaleStats s;
+  // The hook fires at each cycle start, after the previous round's cohort
+  // hibernated but while its replicas were still live a moment ago — the
+  // peak is whatever the largest cohort materialized.
+  std::size_t peak_bytes = 0;
+  std::size_t sampled = 0;
+  if (auto* helios = dynamic_cast<core::HeliosStrategy*>(strategy.get())) {
+    helios->set_cycle_hook([&](fl::Fleet& f, int) {
+      peak_bytes = std::max(peak_bytes, f.live_replica_bytes());
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const fl::RunResult result = strategy->run(fleet, cycles);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  for (auto& c : fleet.clients()) sampled += c->materialized() ? 1 : 0;
+  peak_bytes = std::max(peak_bytes, fleet.live_replica_bytes());
+  s.accuracy = result.final_accuracy();
+  s.wall_seconds = wall.count();
+  s.rounds_per_second =
+      wall.count() > 0.0 ? static_cast<double>(cycles) / wall.count() : 0.0;
+  s.peak_replica_mb = static_cast<double>(peak_bytes) / 1e6;
+  s.final_replica_mb =
+      static_cast<double>(fleet.live_replica_bytes()) / 1e6;
+  s.peak_rss_mb = peak_rss_mb();
+  s.cohort_rounds = sampled;
+  fleet.set_sampler(nullptr);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  // Quick scale stops at 256 devices; default and full run the 1024-device
+  // point the acceptance run tracks (5 Helios rounds in well under a
+  // minute).
+  std::vector<int> sizes = {8, 64, 256};
+  if (scale.name != "quick") sizes.push_back(1024);
+  const int cycles = 5;
+  const std::vector<std::string> methods = {"Helios", "Syn. FL"};
+
+  util::Table table({"devices", "method", "rounds/s", "wall (s)",
+                     "peak replicas (MB)", "full fleet (MB)", "peak RSS (MB)",
+                     "final acc (%)"});
+  std::ofstream json("BENCH_scale.json");
+  json << "{\n  \"scale\": \"" << scale.name << "\",\n  \"cycles\": "
+       << cycles << ",\n  \"points\": [\n";
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const int devices = sizes[i];
+    // What the whole population would occupy if every client held a live
+    // replica — the bound the lazy-materialization design avoids.
+    const sim::PopulationGenerator pop(sim::mobile_longtail(devices));
+    nn::Model probe = pop.config().model.build(1);
+    const double full_fleet_mb =
+        static_cast<double>(probe.param_count() * 2 + probe.buffer_count()) *
+        sizeof(float) * devices / 1e6;
+
+    json << "    {\"devices\": " << devices
+         << ", \"full_fleet_mb\": " << full_fleet_mb << ", \"methods\": [\n";
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const ScaleStats s = run_once(methods[m], devices, cycles);
+      table.add_row({std::to_string(devices), methods[m],
+                     util::Table::num(s.rounds_per_second, 2),
+                     util::Table::num(s.wall_seconds, 2),
+                     util::Table::num(s.peak_replica_mb, 2),
+                     util::Table::num(full_fleet_mb, 2),
+                     util::Table::num(s.peak_rss_mb, 1),
+                     util::Table::num(s.accuracy * 100.0, 2)});
+      json << "      {\"name\": \"" << methods[m]
+           << "\", \"rounds_per_second\": " << s.rounds_per_second
+           << ", \"wall_seconds\": " << s.wall_seconds
+           << ", \"peak_replica_mb\": " << s.peak_replica_mb
+           << ", \"final_replica_mb\": " << s.final_replica_mb
+           << ", \"peak_rss_mb\": " << s.peak_rss_mb
+           << ", \"materialized_clients\": " << s.cohort_rounds
+           << ", \"accuracy\": " << s.accuracy << "}"
+           << (m + 1 < methods.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (i + 1 < sizes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  util::print_banner(std::cout,
+                     "Population scale: rounds/s and memory, Helios vs "
+                     "Syn. FL (mobile-longtail, C = max(0.05, 4/N))");
+  table.print(std::cout);
+  std::cout << "wrote BENCH_scale.json (" << sizes.size()
+            << " fleet sizes x " << methods.size() << " strategies)\n";
+  return 0;
+}

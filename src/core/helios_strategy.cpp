@@ -28,9 +28,11 @@ HeliosStrategy::StragglerState& HeliosStrategy::state_for(fl::Client& client) {
     cfg.keep_ratio = client.volume();
     cfg.ps = config_.ps;
     cfg.seed = config_.seed + static_cast<std::uint64_t>(client.id()) * 7919;
-    st.trainer = std::make_unique<SoftTrainer>(client.model(), cfg);
+    // Architecture-only queries: the estimation model avoids materializing
+    // a hibernated client's replica just to read the neuron index.
+    st.trainer = std::make_unique<SoftTrainer>(client.estimation_model(), cfg);
     st.regulator = std::make_unique<RotationRegulator>(
-        client.model().neuron_total(), st.trainer->budget_total());
+        client.estimation_model().neuron_total(), st.trainer->budget_total());
     it = state_.emplace(client.id(), std::move(st)).first;
   }
   return it->second;
@@ -60,7 +62,7 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
     plan.reserve(fleet.size());
     {
       HELIOS_TRACE_SPAN("helios.select_submodels", {{"cycle", cycle}});
-      for (fl::Client* client : fleet.active_clients()) {
+      for (fl::Client* client : fleet.round_roster(cycle)) {
         Planned p{client, {}, 0};
         if (client->is_straggler() && client->volume() < 1.0) {
           StragglerState& st = state_for(*client);
@@ -104,8 +106,15 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
     fleet.clock().advance(net.round_seconds);
 
     // Phase 3: contribution updates + rotation bookkeeping + aggregation.
+    // Only *delivered* updates count: if a straggler's frame was dropped,
+    // the server never saw its parameters, so crediting contributions and
+    // advancing the C_s rotation counters would drift the soft-training
+    // state away from what actually aggregated. In the extreme case — the
+    // whole cohort lost before the deadline — the round must close as a
+    // clean no-op (Server::aggregate already skips an empty span).
     for (std::size_t i = 0; i < plan.size(); ++i) {
       if (plan[i].mask.empty()) continue;
+      if (!net.pass_through && !net.delivered[i]) continue;
       StragglerState& st = state_for(*plan[i].client);
       st.trainer->update_contributions(global_before, updates[i].params,
                                        plan[i].mask);
@@ -147,9 +156,10 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
       }
     }
 
-    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(plan.size()),
-                             net.upload_mb});
+    result.rounds.push_back(
+        {cycle, fleet.clock().now(), fleet.evaluate(),
+         loss / static_cast<double>(std::max<std::size_t>(1, plan.size())),
+         net.upload_mb});
     if (tel) {
       const fl::RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

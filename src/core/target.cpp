@@ -45,7 +45,8 @@ double TargetDeterminer::cycle_seconds_at_volume(fl::Client& client,
   if (volume >= 1.0) return client.estimate_cycle_seconds({});
   // FLOP and upload accounting depend only on how many neurons per layer are
   // active, not which; take the first k_i of each layer deterministically.
-  nn::Model& model = client.model();
+  // Architecture-only, so the estimation model serves hibernated clients.
+  nn::Model& model = client.estimation_model();
   const auto ranges = fl::layer_ranges(model);
   const auto budgets = fl::layer_budgets(ranges, volume);
   std::vector<std::uint8_t> mask(
@@ -83,7 +84,8 @@ double TargetDeterminer::profile_volume(fl::Client& client,
   // Memory constraint: shrink further while the peak footprint overflows.
   double chosen = lo;
   while (chosen > min_volume &&
-         device::peak_memory_mb(client.model(), client.config().batch_size) *
+         device::peak_memory_mb(client.estimation_model(),
+                                client.config().batch_size) *
                  chosen >
              client.profile().memory_mb) {
     chosen = std::max(min_volume, chosen - 0.05);

@@ -50,9 +50,22 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
   std::vector<InFlight> inflight(fleet.size());
 
   long version = 0;
+  int recorded = 0;
+  // Same cohort gating as AsyncFL's fully-async mode: unselected clients
+  // park (hibernated) until a later recorded round samples them; the
+  // reference device always runs so recording progresses.
+  const RosterSampler* sampler = fleet.sampler();
+  std::vector<std::uint8_t> parked(fleet.size(), 0);
   auto start_client = [&](std::size_t i, double now) {
     Client& c = fleet.client(i);
     if (!c.active()) return;  // dead device: never rescheduled
+    if (sampler && c.id() != reference_id &&
+        !sampler->selected(c.id(), recorded)) {
+      parked[i] = 1;
+      c.hibernate();
+      return;
+    }
+    parked[i] = 0;
     inflight[i].client = &c;
     inflight[i].base.assign(fleet.server().global().begin(),
                             fleet.server().global().end());
@@ -61,13 +74,18 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
     inflight[i].started_version = version;
     queue.push({now + c.estimate_cycle_seconds({}), static_cast<int>(i)});
   };
+  auto sweep_parked = [&] {
+    if (!sampler) return;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (parked[i]) start_client(i, fleet.clock().now());
+    }
+  };
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     start_client(i, fleet.clock().now());
   }
 
   NetworkSession* session = fleet.network();
   obs::TelemetrySink* tel = fleet.telemetry();
-  int recorded = 0;
   double loss_acc = 0.0;
   double upload_acc = 0.0;
   int loss_count = 0;
@@ -107,6 +125,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
         } else {
           break;  // everyone is dead; nothing left to record
         }
+        sweep_parked();  // the new reference may be parked — wake it
       }
     }
     if (accepted) {
@@ -135,6 +154,7 @@ RunResult Afo::run(Fleet& fleet, int cycles) {
       loss_acc = 0.0;
       upload_acc = 0.0;
       loss_count = 0;
+      sweep_parked();  // round advanced: re-draw the parked clients
     }
     start_client(static_cast<std::size_t>(ev.client_index),
                  fleet.clock().now());

@@ -56,9 +56,23 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::vector<InFlight> inflight(fleet.size());
 
+  int recorded = 0;
+  // Population sampling in the event-driven mode: the recorded-round index
+  // plays the cohort round. An unselected client parks (hibernated) instead
+  // of rescheduling and is re-examined whenever a round completes. The
+  // reference device always participates so recording progresses.
+  const RosterSampler* sampler = fleet.sampler();
+  std::vector<std::uint8_t> parked(fleet.size(), 0);
   auto start_client = [&](std::size_t i, double now) {
     Client& c = fleet.client(i);
     if (!c.active()) return;  // dead device: never rescheduled
+    if (sampler && c.id() != reference_id &&
+        !sampler->selected(c.id(), recorded)) {
+      parked[i] = 1;
+      c.hibernate();
+      return;
+    }
+    parked[i] = 0;
     inflight[i].client = &c;
     inflight[i].base.assign(fleet.server().global().begin(),
                             fleet.server().global().end());
@@ -66,13 +80,18 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
                                     fleet.server().global_buffers().end());
     queue.push({now + c.estimate_cycle_seconds({}), static_cast<int>(i)});
   };
+  auto sweep_parked = [&] {
+    if (!sampler) return;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (parked[i]) start_client(i, fleet.clock().now());
+    }
+  };
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     start_client(i, fleet.clock().now());
   }
 
   NetworkSession* session = fleet.network();
   obs::TelemetrySink* tel = fleet.telemetry();
-  int recorded = 0;
   double loss_acc = 0.0;
   double upload_acc = 0.0;
   int loss_count = 0;
@@ -117,6 +136,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
         } else {
           break;  // everyone is dead; nothing left to record
         }
+        sweep_parked();  // the new reference may be parked — wake it
       }
     }
     if (mixed) {
@@ -140,6 +160,7 @@ RunResult AsyncFL::run_fully_async(Fleet& fleet, int cycles) {
       loss_acc = 0.0;
       upload_acc = 0.0;
       loss_count = 0;
+      sweep_parked();  // round advanced: re-draw the parked clients
     }
     start_client(static_cast<std::size_t>(ev.client_index),
                  fleet.clock().now());
@@ -172,9 +193,15 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
     HELIOS_TRACE_SPAN("async.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
     // Rosters are re-derived per cycle so churn (deaths, joins) takes
-    // effect; identical to the loop-invariant lists absent churn.
-    auto capable = fleet.capable();
-    auto stragglers = fleet.stragglers();
+    // effect; identical to the loop-invariant lists absent churn. With a
+    // population sampler, only the cycle's cohort participates: unsampled
+    // capables sit out, unsampled idle stragglers don't start, and a busy
+    // straggler's due update waits until it is sampled again.
+    std::vector<Client*> capable;
+    std::vector<Client*> stragglers;
+    for (Client* c : fleet.round_roster(cycle)) {
+      (c->is_straggler() ? stragglers : capable).push_back(c);
+    }
     // Start any idle straggler on the current global snapshot.
     for (Client* s : stragglers) {
       auto& st = state[s->id()];
@@ -245,9 +272,10 @@ RunResult AsyncFL::run_period(Fleet& fleet, int cycles) {
     }
 
     fleet.server().aggregate(agg, opts);
-    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(trained_count),
-                             upload});
+    result.rounds.push_back(
+        {cycle, fleet.clock().now(), fleet.evaluate(),
+         loss / static_cast<double>(std::max<std::size_t>(1, trained_count)),
+         upload});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

@@ -24,7 +24,7 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
     if (tel) tel->set_cycle(cycle);
     // Masks are drawn sequentially first (mask_for may consume per-client
     // RNG state), then the independent training cycles fan out.
-    std::vector<Client*> roster = fleet.active_clients();
+    std::vector<Client*> roster = fleet.round_roster(cycle);
     std::vector<std::vector<std::uint8_t>> masks;
     masks.reserve(roster.size());
     for (Client* client : roster) {
@@ -40,9 +40,10 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
     NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
     fleet.clock().advance(net.round_seconds);
     fleet.server().aggregate(net.aggregate_span(updates), opts);
-    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(roster.size()),
-                             net.upload_mb});
+    result.rounds.push_back(
+        {cycle, fleet.clock().now(), fleet.evaluate(),
+         loss / static_cast<double>(std::max<std::size_t>(1, roster.size())),
+         net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,
@@ -67,7 +68,7 @@ RunResult RandomSubmodel::run(Fleet& fleet, int cycles) {
       fleet, cycles, "Random",
       [&](Client& client, int /*cycle*/) -> std::vector<std::uint8_t> {
         if (!client.is_straggler() || client.volume() >= 1.0) return {};
-        return random_volume_mask(client.model(), client.volume(),
+        return random_volume_mask(client.estimation_model(), client.volume(),
                                   client_rng.at(client.id()));
       });
 }
@@ -81,8 +82,8 @@ RunResult StaticPrune::run(Fleet& fleet, int cycles) {
   for (auto& c : fleet.clients()) {
     if (c->is_straggler() && c->volume() < 1.0) {
       util::Rng crng = rng.fork(static_cast<std::uint64_t>(c->id()));
-      fixed.emplace(c->id(),
-                    random_volume_mask(c->model(), c->volume(), crng));
+      fixed.emplace(c->id(), random_volume_mask(c->estimation_model(),
+                                                c->volume(), crng));
     }
   }
   return run_sync_submodel(

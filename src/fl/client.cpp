@@ -22,11 +22,48 @@ Client::Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
       data_(std::move(local_data)),
       config_(config),
       profile_(std::move(profile)),
-      model_(spec.build(config.seed)),
+      spec_(spec),
       opt_(config.lr, config.momentum, 0.0F, config.grad_clip),
       loader_(data_, config.batch_size, util::Rng(config.seed).fork(0x10AD)) {
   if (!profile_.valid()) throw std::invalid_argument("Client: invalid profile");
   data_.validate();
+}
+
+nn::Model& Client::ensure_model() {
+  if (!model_) {
+    model_ = std::make_unique<nn::Model>(spec_.build(config_.seed));
+    if (expected_params_ != 0 &&
+        model_->param_count() != expected_params_) {
+      throw std::logic_error("Client: client/server parameter count mismatch");
+    }
+  }
+  return *model_;
+}
+
+nn::Model& Client::model() { return ensure_model(); }
+
+nn::Model& Client::estimation_model() {
+  if (model_) return *model_;
+  if (estimation_model_) return *estimation_model_;
+  return ensure_model();
+}
+
+void Client::hibernate() {
+  if (!model_) return;
+  // Momentum velocity is cross-cycle optimizer state; releasing it would
+  // silently change training. Memory-bounded fleets require momentum == 0.
+  if (config_.momentum != 0.0F) return;
+  model_.reset();
+  opt_ = nn::Sgd(config_.lr, config_.momentum, 0.0F, config_.grad_clip);
+}
+
+std::size_t Client::replica_bytes() const {
+  if (!model_) return 0;
+  // Params + grads (+ the optimizer's flat velocity when momentum is on),
+  // plus buffers. Activations are transient and excluded.
+  const std::size_t params = model_->param_count();
+  const std::size_t per_param = config_.momentum != 0.0F ? 3 : 2;
+  return (params * per_param + model_->buffer_count()) * sizeof(float);
 }
 
 ClientUpdate Client::run_cycle(std::span<const float> global_params,
@@ -38,13 +75,14 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
   }
   HELIOS_TRACE_SPAN("client.run_cycle", {{"device", id_}});
   if (telemetry_) telemetry_->set_device(id_);
+  nn::Model& model = ensure_model();
   opt_.set_lr(current_lr());
-  model_.load_params(global_params);
-  model_.load_buffers(global_buffers);
+  model.load_params(global_params);
+  model.load_buffers(global_buffers);
   if (neuron_mask.empty()) {
-    model_.clear_neuron_mask();
+    model.clear_neuron_mask();
   } else {
-    model_.set_neuron_mask(neuron_mask);
+    model.set_neuron_mask(neuron_mask);
   }
 
   double loss_sum = 0.0;
@@ -69,13 +107,13 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
 
   // Cost-model the cycle while the mask is still installed, then clean up.
   const device::WorkloadEstimate workload = device::estimate_workload(
-      model_, samples_processed / std::max(1, config_.local_epochs),
+      model, samples_processed / std::max(1, config_.local_epochs),
       config_.local_epochs);
 
   ClientUpdate update;
   update.client_id = id_;
-  update.params = model_.params_flat();
-  update.buffers = model_.buffers_flat();
+  update.params = model.params_flat();
+  update.buffers = model.buffers_flat();
   update.trained_mask.assign(neuron_mask.begin(), neuron_mask.end());
   update.sample_count = num_samples();
   update.train_seconds = device::training_cycle_seconds(profile_, workload);
@@ -83,18 +121,18 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
   update.upload_mb = workload.upload_mb;
   update.mean_loss = batches > 0 ? loss_sum / batches : 0.0;
 
-  model_.clear_neuron_mask();
+  model.clear_neuron_mask();
   ++cycles_completed_;
 
   if (telemetry_) {
-    int trained = model_.neuron_total();
+    int trained = model.neuron_total();
     if (!neuron_mask.empty()) {
       trained = 0;
       for (auto b : neuron_mask) trained += (b != 0);
     }
     telemetry_->record_client_cycle(
         id_, profile_.name, straggler_, volume_, trained,
-        model_.neuron_total(), update.train_seconds, update.upload_seconds,
+        model.neuron_total(), update.train_seconds, update.upload_seconds,
         update.upload_mb, update.mean_loss);
     telemetry_->set_device(-1);
   }
@@ -110,20 +148,21 @@ float Client::current_lr() const {
 
 nn::StepResult Client::local_step(const data::Batch& batch,
                                   std::span<const float> global_params) {
+  nn::Model& model = *model_;  // materialized by run_cycle
   if (config_.proximal_mu <= 0.0F) {
-    return nn::train_step(model_, opt_, batch.images, batch.labels);
+    return nn::train_step(model, opt_, batch.images, batch.labels);
   }
   // FedProx: gradient of f_n(w) + mu/2 * ||w - w_global||^2.
-  model_.zero_grad();
-  tensor::Tensor logits = model_.forward(batch.images, /*training=*/true);
+  model.zero_grad();
+  tensor::Tensor logits = model.forward(batch.images, /*training=*/true);
   tensor::Tensor dlogits;
   nn::StepResult result;
   result.loss =
       tensor::softmax_cross_entropy(logits, batch.labels, dlogits);
   result.correct = tensor::count_correct(logits, batch.labels);
-  model_.backward(dlogits);
+  model.backward(dlogits);
   const float mu = config_.proximal_mu;
-  for (const nn::ParamRef& ref : model_.param_refs()) {
+  for (const nn::ParamRef& ref : model.param_refs()) {
     float* g = ref.grad->data();
     const float* w = ref.param->data();
     const float* anchor = global_params.data() + ref.flat_offset;
@@ -131,28 +170,32 @@ nn::StepResult Client::local_step(const data::Batch& batch,
       g[i] += mu * (w[i] - anchor[i]);
     }
   }
-  opt_.step(model_);
+  opt_.step(model);
   return result;
 }
 
 double Client::estimate_cycle_seconds(
     std::span<const std::uint8_t> neuron_mask) {
+  // Analytic only: uses the shared architecture twin when hibernated so
+  // planning over a large population never materializes replicas.
+  nn::Model& model = estimation_model();
   if (neuron_mask.empty()) {
-    model_.clear_neuron_mask();
+    model.clear_neuron_mask();
   } else {
-    model_.set_neuron_mask(neuron_mask);
+    model.set_neuron_mask(neuron_mask);
   }
   const device::WorkloadEstimate workload = device::estimate_workload(
-      model_, data_.size(), config_.local_epochs);
-  model_.clear_neuron_mask();
+      model, data_.size(), config_.local_epochs);
+  model.clear_neuron_mask();
   return device::total_cycle_seconds(profile_, workload);
 }
 
 double Client::testbench_seconds(int iterations) {
   if (iterations <= 0) throw std::invalid_argument("testbench: iterations <= 0");
-  model_.clear_neuron_mask();
+  nn::Model& model = estimation_model();
+  model.clear_neuron_mask();
   const device::WorkloadEstimate workload = device::estimate_workload(
-      model_, iterations * config_.batch_size, /*local_epochs=*/1);
+      model, iterations * config_.batch_size, /*local_epochs=*/1);
   return device::training_cycle_seconds(profile_, workload);
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct ClientUpdate {
 
 class Client {
  public:
+  /// The client does NOT build its model replica here — replicas are
+  /// materialized lazily (from `spec` with `config.seed`) on first use, so
+  /// a population-scale fleet of mostly-unsampled clients holds no live
+  /// model memory. Materialization is a pure function of the spec and seed,
+  /// so it is bit-identical whenever (and on whatever thread) it happens.
   Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
          ClientConfig config, device::ResourceProfile profile);
 
@@ -84,8 +90,38 @@ class Client {
   const device::ResourceProfile& profile() const { return profile_; }
   const data::Dataset& dataset() const { return data_; }
   std::size_t num_samples() const { return static_cast<std::size_t>(data_.size()); }
-  nn::Model& model() { return model_; }
+  /// The live model replica; materializes it if the client is hibernated.
+  nn::Model& model();
   const ClientConfig& config() const { return config_; }
+
+  /// True while the client holds a live model replica (optimizer included).
+  bool materialized() const { return model_ != nullptr; }
+  /// Releases the model replica and optimizer scratch so an unsampled
+  /// client holds no per-parameter memory. The next run_cycle (or model())
+  /// rebuilds it from the spec — parameters are overwritten by the global
+  /// snapshot at cycle start, so training semantics are unchanged. Kept as
+  /// a no-op when the optimizer carries momentum state across cycles
+  /// (releasing would zero the velocity mid-run).
+  void hibernate();
+  /// Approximate live replica footprint in bytes (params + grads +
+  /// optimizer scratch); 0 while hibernated. A cheap peak-RSS proxy for
+  /// the scale benchmarks.
+  std::size_t replica_bytes() const;
+
+  /// Shared architecture twin used for cost estimates while hibernated
+  /// (typically the server's reference model — same spec, so the analytic
+  /// workload is identical). Set by Fleet::add_client; estimates fall back
+  /// to materializing the replica when unset. The twin is mutated (mask
+  /// install/clear) during estimation, so estimates through it must stay on
+  /// the sequential planning path — never inside parallel_train.
+  void set_estimation_model(nn::Model* m) { estimation_model_ = m; }
+  /// Read-mostly architecture handle for cost/shape queries (layer ranges,
+  /// neuron totals, memory profiling): the live replica when materialized,
+  /// else the shared twin, else materializes the replica.
+  nn::Model& estimation_model();
+  /// Expected flat parameter count (the server's); checked at
+  /// materialization instead of construction. 0 = unchecked.
+  void set_expected_params(std::size_t n) { expected_params_ = n; }
 
   /// Straggler bookkeeping (set by identification / target determination).
   bool is_straggler() const { return straggler_; }
@@ -115,14 +151,18 @@ class Client {
  private:
   nn::StepResult local_step(const data::Batch& batch,
                             std::span<const float> global_params);
+  nn::Model& ensure_model();
 
   int id_;
   data::Dataset data_;
   ClientConfig config_;
   device::ResourceProfile profile_;
-  nn::Model model_;
+  models::ModelSpec spec_;
+  std::unique_ptr<nn::Model> model_;
   nn::Sgd opt_;
   data::DataLoader loader_;
+  nn::Model* estimation_model_ = nullptr;
+  std::size_t expected_params_ = 0;
   bool straggler_ = false;
   bool active_ = true;
   double volume_ = 1.0;

@@ -26,7 +26,7 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
     if (tel) tel->set_cycle(cycle);
     // Per-client work scales are fixed by straggler volume, so they are
     // computed up front and the independent cycles fan out.
-    std::vector<Client*> roster = fleet.active_clients();
+    std::vector<Client*> roster = fleet.round_roster(cycle);
     std::vector<double> work;
     work.reserve(roster.size());
     for (Client* client : roster) {
@@ -45,9 +45,10 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
     NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
     fleet.clock().advance(net.round_seconds);
     fleet.server().aggregate(net.aggregate_span(updates), opts);
-    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(roster.size()),
-                             net.upload_mb});
+    result.rounds.push_back(
+        {cycle, fleet.clock().now(), fleet.evaluate(),
+         loss / static_cast<double>(std::max<std::size_t>(1, roster.size())),
+         net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

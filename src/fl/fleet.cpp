@@ -1,10 +1,20 @@
 #include "fl/fleet.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/telemetry.h"
 
 namespace helios::fl {
+
+std::vector<Client*> RosterSampler::sample(std::span<Client* const> active,
+                                           int round) const {
+  std::vector<Client*> cohort;
+  for (Client* c : active) {
+    if (selected(c->id(), round)) cohort.push_back(c);
+  }
+  return cohort;
+}
 
 Fleet::Fleet(const models::ModelSpec& spec, data::Dataset test_set,
              std::uint64_t seed)
@@ -12,14 +22,44 @@ Fleet::Fleet(const models::ModelSpec& spec, data::Dataset test_set,
   test_set_.validate();
 }
 
+Fleet::Fleet(Fleet&& other) noexcept
+    : spec_(std::move(other.spec_)),
+      server_(std::move(other.server_)),
+      test_set_(std::move(other.test_set_)),
+      clients_(std::move(other.clients_)),
+      clock_(other.clock_),
+      telemetry_(other.telemetry_),
+      network_(other.network_),
+      sampler_(other.sampler_),
+      next_id_(other.next_id_) {
+  for (auto& c : clients_) c->set_estimation_model(&server_.reference_model());
+}
+
+Fleet& Fleet::operator=(Fleet&& other) noexcept {
+  if (this == &other) return *this;
+  spec_ = std::move(other.spec_);
+  server_ = std::move(other.server_);
+  test_set_ = std::move(other.test_set_);
+  clients_ = std::move(other.clients_);
+  clock_ = other.clock_;
+  telemetry_ = other.telemetry_;
+  network_ = other.network_;
+  sampler_ = other.sampler_;
+  next_id_ = other.next_id_;
+  for (auto& c : clients_) c->set_estimation_model(&server_.reference_model());
+  return *this;
+}
+
 Client& Fleet::add_client(data::Dataset local_data, ClientConfig config,
                           device::ResourceProfile profile) {
   auto client = std::make_unique<Client>(next_id_++, spec_,
                                          std::move(local_data), config,
                                          std::move(profile));
-  if (client->model().param_count() != server_.param_count()) {
-    throw std::logic_error("Fleet: client/server parameter count mismatch");
-  }
+  // No eager model build here: the replica materializes on first use and the
+  // parameter-count check runs then. Cost estimates for hibernated clients
+  // go through the server's reference model (same spec, same arithmetic).
+  client->set_expected_params(server_.param_count());
+  client->set_estimation_model(&server_.reference_model());
   client->set_telemetry(telemetry_);
   clients_.push_back(std::move(client));
   return *clients_.back();
@@ -46,6 +86,32 @@ std::vector<Client*> Fleet::active_clients() {
     if (c->active()) out.push_back(c.get());
   }
   return out;
+}
+
+std::vector<Client*> Fleet::round_roster(int round, bool hibernate_unsampled) {
+  std::vector<Client*> active = active_clients();
+  if (!sampler_) return active;
+  std::vector<Client*> cohort = sampler_->sample(active, round);
+  if (hibernate_unsampled) {
+    // Membership via the cohort itself (not selected()): a sampler's
+    // empty-cohort fallback may include clients selected() rejects.
+    for (Client* c : active) {
+      if (std::find(cohort.begin(), cohort.end(), c) == cohort.end()) {
+        c->hibernate();
+      }
+    }
+  }
+  if (telemetry_) {
+    telemetry_->record_cohort(round, clients_.size(), active.size(),
+                              cohort.size());
+  }
+  return cohort;
+}
+
+std::size_t Fleet::live_replica_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : clients_) total += c->replica_bytes();
+  return total;
 }
 
 std::vector<Client*> Fleet::stragglers() {

@@ -18,12 +18,36 @@ namespace helios::fl {
 
 class NetworkSession;
 
+/// Per-round cohort selection policy (implemented by sim::CohortSampler).
+/// Membership must be a pure function of (policy state, device id, round) —
+/// per-device forked RNG streams, never a shared sequential draw — so a
+/// joiner can never perturb an existing device's participation schedule.
+class RosterSampler {
+ public:
+  virtual ~RosterSampler() = default;
+  /// Pure membership test: does device `device_id` participate in `round`?
+  virtual bool selected(int device_id, int round) const = 0;
+  /// The round's cohort drawn from `active` (input order preserved). The
+  /// default filters by selected(); implementations may add fallbacks for
+  /// otherwise-empty cohorts.
+  virtual std::vector<Client*> sample(std::span<Client* const> active,
+                                      int round) const;
+};
+
 class Fleet {
  public:
   /// Builds the global model from `spec` with `seed`; all clients must be
   /// constructed from the same spec (checked by parameter count).
   Fleet(const models::ModelSpec& spec, data::Dataset test_set,
         std::uint64_t seed = 7);
+
+  // Clients hold a pointer to the server's reference model (the shared
+  // architecture twin for analytic queries while hibernated), so moving a
+  // fleet must re-bind those pointers to the new server.
+  Fleet(Fleet&& other) noexcept;
+  Fleet& operator=(Fleet&& other) noexcept;
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
 
   /// Adds a client owning `local_data`; returns it for further setup.
   Client& add_client(data::Dataset local_data, ClientConfig config,
@@ -36,6 +60,22 @@ class Fleet {
   Client* find_client(int id);
   /// Clients currently in the roster (active; excludes dead devices).
   std::vector<Client*> active_clients();
+
+  /// Per-round participation sampling (nullptr = everyone participates,
+  /// the legacy full-participation rosters). The fleet does not own the
+  /// sampler; it must outlive the runs that use it.
+  void set_sampler(const RosterSampler* sampler) { sampler_ = sampler; }
+  const RosterSampler* sampler() const { return sampler_; }
+  /// The round's participants: all active clients without a sampler
+  /// (bit-identical to the legacy strategies), else the sampler's cohort.
+  /// With `hibernate_unsampled`, active clients outside the cohort release
+  /// their model replicas so a mostly-idle population stays memory-bounded.
+  /// Reports cohort size to telemetry (helios.sim.* metrics).
+  std::vector<Client*> round_roster(int round,
+                                    bool hibernate_unsampled = true);
+  /// Sum of live replica footprints across the fleet — the peak-RSS proxy
+  /// the scale benchmarks report.
+  std::size_t live_replica_bytes() const;
 
   Server& server() { return server_; }
   const data::Dataset& test_set() const { return test_set_; }
@@ -95,6 +135,7 @@ class Fleet {
   device::VirtualClock clock_;
   obs::TelemetrySink* telemetry_ = nullptr;
   NetworkSession* network_ = nullptr;
+  const RosterSampler* sampler_ = nullptr;
   int next_id_ = 0;
 };
 

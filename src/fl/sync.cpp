@@ -31,9 +31,11 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
   for (int cycle = 0; cycle < cycles; ++cycle) {
     HELIOS_TRACE_SPAN("sync.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
-    // Sample this cycle's participants from the active roster (identical to
-    // the full client list — and the legacy RNG stream — absent churn).
-    std::vector<Client*> active = fleet.active_clients();
+    // Sample this cycle's participants from the round roster: the fleet's
+    // population sampler (if set) draws the cohort first, then the
+    // strategy's own participation fraction subsamples it (identical to
+    // the legacy full roster — and RNG stream — absent sampler and churn).
+    std::vector<Client*> active = fleet.round_roster(cycle);
     std::vector<Client*> participants;
     if (participation_ >= 1.0) {
       participants = active;
@@ -62,9 +64,11 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
     NetDelivery net = deliver_round(fleet, updates, fleet.server().global());
     fleet.clock().advance(net.round_seconds);
     fleet.server().aggregate(net.aggregate_span(updates), opts);
-    result.rounds.push_back({cycle, fleet.clock().now(), fleet.evaluate(),
-                             loss / static_cast<double>(participants.size()),
-                             net.upload_mb});
+    result.rounds.push_back(
+        {cycle, fleet.clock().now(), fleet.evaluate(),
+         loss / static_cast<double>(
+                    std::max<std::size_t>(1, participants.size())),
+         net.upload_mb});
     if (tel) {
       const RoundRecord& r = result.rounds.back();
       tel->record_cycle_result(result.method, cycle, r.virtual_time,

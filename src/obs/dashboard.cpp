@@ -1,6 +1,11 @@
 #include "obs/dashboard.h"
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "obs/metrics.h"  // json_escape
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace helios::obs {
@@ -18,6 +23,14 @@ std::size_t StragglerDashboard::device_count() const {
 
 void StragglerDashboard::render(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (devices_.size() > summary_threshold_) {
+    render_summary(os);
+  } else {
+    render_devices(os);
+  }
+}
+
+void StragglerDashboard::render_devices(std::ostream& os) const {
   util::Table table({"device", "role", "volume", "cycles", "r_n", "alpha_n",
                      "forced", "C_s 0/1/2/3+", "compute (s)", "comm (s)",
                      "upload (MB)", "wire (MB)", "retx", "drops"});
@@ -38,6 +51,56 @@ void StragglerDashboard::render(std::ostream& os) const {
                    util::Table::num(static_cast<double>(d.wire_bytes) / 1e6, 2),
                    std::to_string(d.retransmits), std::to_string(d.drops)});
   }
+  table.print(os);
+}
+
+void StragglerDashboard::render_summary(std::ostream& os) const {
+  std::vector<double> r_n;
+  std::vector<double> alpha_n;
+  std::vector<double> wire_mb;
+  std::vector<double> compute_s;
+  std::vector<double> comm_s;
+  std::size_t stragglers = 0;
+  std::size_t dead = 0;
+  long long cycles = 0;
+  long long forced = 0;
+  long long drops = 0;
+  long long retransmits = 0;
+  for (const auto& [id, d] : devices_) {
+    r_n.push_back(d.mean_r_n());
+    alpha_n.push_back(d.alpha_n);
+    wire_mb.push_back(static_cast<double>(d.wire_bytes) / 1e6);
+    compute_s.push_back(d.compute_seconds);
+    comm_s.push_back(d.comm_seconds);
+    stragglers += d.straggler ? 1 : 0;
+    dead += d.dead ? 1 : 0;
+    cycles += d.cycles;
+    forced += d.forced_neurons;
+    drops += d.drops;
+    retransmits += d.retransmits;
+  }
+
+  os << "fleet: " << devices_.size() << " devices (" << stragglers
+     << " stragglers, " << dead << " dead), " << cycles << " cycles, "
+     << forced << " forced neurons, " << retransmits << " retx, " << drops
+     << " drops\n";
+
+  util::Table table({"metric", "p50", "p90", "p99", "mean", "max"});
+  auto row = [&](const std::string& name, std::span<const double> xs,
+                 int prec) {
+    if (xs.empty()) return;
+    table.add_row({name, util::Table::num(util::percentile(xs, 50.0), prec),
+                   util::Table::num(util::percentile(xs, 90.0), prec),
+                   util::Table::num(util::percentile(xs, 99.0), prec),
+                   util::Table::num(util::mean(xs), prec),
+                   util::Table::num(*std::max_element(xs.begin(), xs.end()),
+                                    prec)});
+  };
+  row("r_n (run mean)", r_n, 3);
+  row("alpha_n", alpha_n, 4);
+  row("wire (MB)", wire_mb, 2);
+  row("compute (s)", compute_s, 3);
+  row("comm (s)", comm_s, 3);
   table.print(os);
 }
 

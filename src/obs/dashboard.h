@@ -57,8 +57,16 @@ struct DeviceStats {
 };
 
 /// Thread-safe collection of DeviceStats keyed by device id.
+///
+/// Small fleets render one row per device; populations larger than the
+/// summary threshold render a fleet summary instead (p50/p90/p99 across
+/// devices of r_n, alpha_n, wire bytes and time splits, plus straggler
+/// and churn counts) so a 1024-device run stays readable.
 class StragglerDashboard {
  public:
+  /// Above this many devices render() switches to the fleet summary.
+  static constexpr std::size_t kDefaultSummaryThreshold = 32;
+
   /// Mutates under the dashboard lock; callers use the returned reference
   /// only within the update lambda passed to `update`.
   template <typename Fn>
@@ -73,14 +81,23 @@ class StragglerDashboard {
   DeviceStats device(int device_id) const;
   std::size_t device_count() const;
 
-  /// Console rendering via util::Table.
+  /// Console rendering via util::Table: per-device rows up to the summary
+  /// threshold, percentile fleet summary beyond it.
   void render(std::ostream& os) const;
   /// Machine-readable dump, one object per device.
   void write_json(std::ostream& os) const;
 
+  /// Override the per-device vs fleet-summary cutover (device count).
+  void set_summary_threshold(std::size_t n) { summary_threshold_ = n; }
+  std::size_t summary_threshold() const { return summary_threshold_; }
+
  private:
+  void render_devices(std::ostream& os) const;  // callers hold mu_
+  void render_summary(std::ostream& os) const;  // callers hold mu_
+
   mutable std::mutex mu_;
   std::map<int, DeviceStats> devices_;  // ordered by device id
+  std::size_t summary_threshold_ = kDefaultSummaryThreshold;
 };
 
 }  // namespace helios::obs

@@ -208,6 +208,40 @@ void TelemetrySink::record_network_round(std::size_t bytes_on_wire,
   metrics_.counter("helios.net.deaths_total").add(static_cast<double>(deaths));
 }
 
+void TelemetrySink::record_cohort(int round, std::size_t population,
+                                  std::size_t active, std::size_t sampled) {
+  metrics_.gauge("helios.sim.population").set(static_cast<double>(population));
+  metrics_.gauge("helios.sim.active").set(static_cast<double>(active));
+  metrics_.gauge("helios.sim.cohort").set(static_cast<double>(sampled));
+  metrics_.counter("helios.sim.sampled_total")
+      .add(static_cast<double>(sampled));
+  metrics_.histogram("helios.sim.cohort_size")
+      .observe(static_cast<double>(sampled));
+  if (tracer_) {
+    tracer_->instant("sim.cohort", {{"round", round},
+                                    {"sampled", static_cast<int>(sampled)},
+                                    {"active", static_cast<int>(active)}});
+  }
+}
+
+void TelemetrySink::record_churn(int round, int arrivals, int departures,
+                                 std::size_t population) {
+  metrics_.gauge("helios.sim.population").set(static_cast<double>(population));
+  if (arrivals > 0) {
+    metrics_.counter("helios.sim.arrivals_total")
+        .add(static_cast<double>(arrivals));
+  }
+  if (departures > 0) {
+    metrics_.counter("helios.sim.departures_total")
+        .add(static_cast<double>(departures));
+  }
+  if (tracer_ && (arrivals > 0 || departures > 0)) {
+    tracer_->instant("sim.churn", {{"round", round},
+                                   {"arrivals", arrivals},
+                                   {"departures", departures}});
+  }
+}
+
 void TelemetrySink::flush() {
   if (tracer_) tracer_->close();
   if (flushed_ || config_.artifact_prefix.empty()) return;

@@ -119,6 +119,16 @@ class TelemetrySink {
                             int delivered, int lost_frames, int retransmits,
                             int deadline_misses, int deaths);
 
+  /// One round's cohort draw (population-scale simulation): fleet size,
+  /// active roster, and how many clients were sampled to participate.
+  void record_cohort(int round, std::size_t population, std::size_t active,
+                     std::size_t sampled);
+
+  /// Churn applied to the fleet around round `round`: devices that arrived
+  /// (admitted joiners) and departed (deactivated / killed).
+  void record_churn(int round, int arrivals, int departures,
+                    std::size_t population);
+
   // ---- Exports ----
 
   void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }

@@ -1,0 +1,59 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace helios::sim {
+
+CohortSampler::CohortSampler(Options options) : options_(options) {
+  if (options_.fraction <= 0.0 || options_.fraction > 1.0) {
+    throw std::invalid_argument("CohortSampler: fraction out of (0, 1]");
+  }
+}
+
+double CohortSampler::draw(int device_id, int round) const {
+  // The pure per-(device, round) draw of the forking contract. The same
+  // value decides membership and breaks the empty-cohort tie, so the
+  // fallback winner is the device that was "closest" to being sampled.
+  return util::Rng(options_.seed)
+      .fork(static_cast<std::uint64_t>(device_id))
+      .fork(static_cast<std::uint64_t>(round))
+      .uniform();
+}
+
+double CohortSampler::probability(int device_id) const {
+  double p = options_.fraction;
+  if (options_.policy == Policy::kWeightedByVolume && fleet_ != nullptr) {
+    if (fl::Client* c = fleet_->find_client(device_id)) p *= c->volume();
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+bool CohortSampler::selected(int device_id, int round) const {
+  return draw(device_id, round) < probability(device_id);
+}
+
+std::vector<fl::Client*> CohortSampler::sample(
+    std::span<fl::Client* const> active, int round) const {
+  std::vector<fl::Client*> cohort;
+  for (fl::Client* c : active) {
+    if (selected(c->id(), round)) cohort.push_back(c);
+  }
+  if (cohort.empty() && options_.non_empty && !active.empty()) {
+    fl::Client* best = active.front();
+    double best_draw = draw(best->id(), round);
+    for (fl::Client* c : active.subspan(1)) {
+      const double d = draw(c->id(), round);
+      if (d < best_draw) {
+        best_draw = d;
+        best = c;
+      }
+    }
+    cohort.push_back(best);
+  }
+  return cohort;
+}
+
+}  // namespace helios::sim

@@ -1,0 +1,66 @@
+// Per-round client sampling (FedAvg's fraction C) for population-scale
+// federations.
+//
+// At population scale the server samples a cohort each round instead of
+// waiting for everyone. CohortSampler implements fl::RosterSampler with the
+// same RNG-forking contract as the rest of src/sim: device i's membership
+// in round t is the pure draw Rng(seed).fork(i).fork(t) — independent
+// Bernoulli "Poisson sampling", so the cohort sequence is identical across
+// runs and thread counts, and admitting a joiner mid-run leaves every
+// existing device's participation schedule bit-identical (a shared
+// sequential draw, like Rng::sample_without_replacement over the roster,
+// would shift everyone's schedule whenever the roster changes).
+#pragma once
+
+#include <cstdint>
+
+#include "fl/fleet.h"
+
+namespace helios::sim {
+
+class CohortSampler : public fl::RosterSampler {
+ public:
+  enum class Policy {
+    /// Every active device participates with probability `fraction`.
+    kUniform,
+    /// Participation probability fraction * volume: devices training larger
+    /// submodels (higher expected r_n) are sampled proportionally more, so
+    /// the Eq. 10 weight mass concentrates on more complete updates.
+    /// Requires attach() to read volumes; falls back to uniform otherwise.
+    kWeightedByVolume,
+  };
+
+  struct Options {
+    /// Expected participation fraction C in (0, 1].
+    double fraction = 0.1;
+    Policy policy = Policy::kUniform;
+    std::uint64_t seed = 1;
+    /// Guarantee a non-empty cohort: when no device draws in, the active
+    /// device with the smallest draw participates alone. This fallback is
+    /// the one place membership depends on the roster — with C * N well
+    /// above 1 it never triggers (documented caveat for joiner-invariance
+    /// tests).
+    bool non_empty = true;
+  };
+
+  explicit CohortSampler(Options options);
+
+  /// Lets kWeightedByVolume read per-device volumes. The fleet must outlive
+  /// the sampler's use; pass nullptr to detach.
+  void attach(fl::Fleet* fleet) { fleet_ = fleet; }
+
+  const Options& options() const { return options_; }
+
+  bool selected(int device_id, int round) const override;
+  std::vector<fl::Client*> sample(std::span<fl::Client* const> active,
+                                  int round) const override;
+
+ private:
+  double draw(int device_id, int round) const;
+  double probability(int device_id) const;
+
+  Options options_;
+  fl::Fleet* fleet_ = nullptr;
+};
+
+}  // namespace helios::sim

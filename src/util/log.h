@@ -28,7 +28,9 @@ namespace detail {
 template <typename... Args>
 std::string concat(Args&&... args) {
   std::ostringstream ss;
-  (ss << ... << args);
+  // void-cast: with zero args the fold collapses to plain `ss`, which
+  // -Werror=unused-value rejects.
+  static_cast<void>((ss << ... << args));
   return ss.str();
 }
 }  // namespace detail

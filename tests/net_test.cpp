@@ -547,8 +547,70 @@ TEST(NetworkSessionTest, EveryStrategySurvivesLossAndDeath) {
     session.protocol().script_death(3, 1e-6);
     const fl::RunResult r = c.run(fleet);
     EXPECT_EQ(r.rounds.size(), static_cast<std::size_t>(kCycles)) << c.name;
-    if (c.death_observed) EXPECT_FALSE(fleet.client(3).active()) << c.name;
+    if (c.death_observed) {
+      EXPECT_FALSE(fleet.client(3).active()) << c.name;
+    }
   }
+}
+
+// Regression: a round whose entire cohort is lost (every frame dropped
+// before the deadline, no retries left) must close as a clean no-op. The
+// server model stays bit-identical, rotation regulation never advances
+// (no forced neurons, C_s histogram untouched — a lost update is not a
+// skipped cycle the server knows about), and the run still records every
+// round with virtual time moving forward.
+TEST(NetworkSessionTest, WholeCohortLostRoundIsACleanNoOp) {
+  const int kCycles = 2;
+  obs::TelemetrySink telemetry;
+  fl::Fleet fleet = testing::make_fleet();
+  fleet.set_telemetry(&telemetry);
+  net::NetworkOptions opts;
+  opts.mode = net::NetMode::kSimulated;
+  opts.channel.loss_prob = 0.999999;  // effectively every frame lost
+  opts.max_retries = 1;
+  fl::NetworkSession session(fleet, opts);
+
+  const std::vector<float> before(fleet.server().global().begin(),
+                                  fleet.server().global().end());
+  const fl::RunResult r =
+      core::HeliosStrategy(core::HeliosConfig{}).run(fleet, kCycles);
+
+  ASSERT_EQ(r.rounds.size(), static_cast<std::size_t>(kCycles));
+  EXPECT_GT(r.rounds.back().virtual_time, 0.0);
+
+  // Server model bit-unchanged: nothing was ever aggregated.
+  ASSERT_EQ(fleet.server().global().size(), before.size());
+  EXPECT_EQ(std::memcmp(fleet.server().global().data(), before.data(),
+                        before.size() * sizeof(float)),
+            0)
+      << "a fully-lost round must not move the global model";
+
+  // C_s counters untouched: rotation state only advances on delivery.
+  for (const auto& c : fleet.clients()) {
+    const obs::DeviceStats d = telemetry.dashboard().device(c->id());
+    EXPECT_EQ(d.forced_neurons, 0) << "device " << c->id();
+    EXPECT_EQ(d.cs_hist[1] + d.cs_hist[2] + d.cs_hist[3], 0)
+        << "device " << c->id();
+    EXPECT_GT(d.drops, 0) << "device " << c->id();
+  }
+  fleet.set_telemetry(nullptr);
+}
+
+// Same invariant for plain SyncFL: full loss leaves the global untouched.
+TEST(NetworkSessionTest, SyncFLWholeCohortLostLeavesGlobalUnchanged) {
+  fl::Fleet fleet = testing::make_fleet();
+  net::NetworkOptions opts;
+  opts.mode = net::NetMode::kSimulated;
+  opts.channel.loss_prob = 0.999999;
+  opts.max_retries = 0;
+  fl::NetworkSession session(fleet, opts);
+  const std::vector<float> before(fleet.server().global().begin(),
+                                  fleet.server().global().end());
+  const fl::RunResult r = fl::SyncFL().run(fleet, 2);
+  ASSERT_EQ(r.rounds.size(), 2U);
+  EXPECT_EQ(std::memcmp(fleet.server().global().data(), before.data(),
+                        before.size() * sizeof(float)),
+            0);
 }
 
 TEST(CompressionTest, WireBytesTrackKeptFraction) {

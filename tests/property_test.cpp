@@ -171,7 +171,9 @@ TEST_P(FlopsMonotoneProperty, MaskedFlopsBelowFull) {
   m.set_neuron_mask(fl::random_volume_mask(m, volume, rng));
   const double masked = m.forward_flops_per_sample();
   EXPECT_LE(masked, full);
-  if (volume < 0.9) EXPECT_LT(masked, full);
+  if (volume < 0.9) {
+    EXPECT_LT(masked, full);
+  }
   // FLOPs shrink at least roughly with the volume for conv/dense stacks
   // (first-layer input channels stay dense, so the bound is loose).
   EXPECT_GT(masked, 0.0);

@@ -1,0 +1,61 @@
+// Fast population-scale smoke: a 64-device long-tail fleet with cohort
+// sampling and churn completes a short Helios run, stays memory-bounded
+// (unsampled clients hold no replicas), and reports helios.sim.* metrics.
+// Kept small (<= 64 devices, 3 rounds) and labeled `scale_smoke` so CI can
+// run it on every change without paying for the full scale benchmarks.
+#include <gtest/gtest.h>
+
+#include "core/helios_strategy.h"
+#include "fl/transport.h"
+#include "obs/telemetry.h"
+#include "sim/churn.h"
+#include "sim/population.h"
+#include "sim/sampler.h"
+
+namespace helios {
+namespace {
+
+TEST(ScaleSmokeTest, SampledChurningFleetCompletesAndStaysBounded) {
+  const int kDevices = 64;
+  const int kCycles = 3;
+  obs::TelemetrySink telemetry;
+  const sim::PopulationGenerator pop(sim::mobile_longtail(kDevices));
+  fl::Fleet fleet = sim::build_fleet(pop);
+  fleet.set_telemetry(&telemetry);
+
+  sim::CohortSampler::Options sopts;
+  sopts.fraction = 0.1;
+  sopts.seed = 17;
+  sim::CohortSampler sampler(sopts);
+  sampler.attach(&fleet);
+  fleet.set_sampler(&sampler);
+
+  sim::ChurnOptions copts;
+  copts.arrival_rate_per_s = 0.0;  // no arrivals: fixed population
+  copts.mean_lifetime_s = 0.0;     // immortal: churn plumbing only
+  sim::ChurnProcess churn(pop, copts);
+  core::HeliosStrategy strategy{core::HeliosConfig{}};
+  strategy.set_cycle_hook(
+      [&](fl::Fleet& f, int cycle) { churn.step(f, cycle); });
+
+  const fl::RunResult r = strategy.run(fleet, kCycles);
+  ASSERT_EQ(r.rounds.size(), static_cast<std::size_t>(kCycles));
+  EXPECT_GE(r.rounds.back().test_accuracy, 0.0);
+  EXPECT_LE(r.rounds.back().test_accuracy, 1.0);
+  EXPECT_GT(r.rounds.back().virtual_time, 0.0);
+
+  // Memory bound: only the final cohort is materialized, not the fleet.
+  std::size_t materialized = 0;
+  for (auto& c : fleet.clients()) materialized += c->materialized() ? 1 : 0;
+  EXPECT_LT(materialized, static_cast<std::size_t>(kDevices) / 2);
+
+  EXPECT_EQ(telemetry.metrics().gauge("helios.sim.population").value(),
+            static_cast<double>(kDevices));
+  EXPECT_GE(telemetry.metrics().counter("helios.sim.sampled_total").value(),
+            static_cast<double>(kCycles));
+  fleet.set_sampler(nullptr);
+  fleet.set_telemetry(nullptr);
+}
+
+}  // namespace
+}  // namespace helios
