@@ -24,6 +24,7 @@
 #include "fl/sync.h"
 #include "nn/conv2d.h"
 #include "nn/sgd.h"
+#include "obs/procstat.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -323,7 +324,7 @@ void write_parallel_scaling_json() {
   util::set_global_threads(0);
 
   std::ofstream os("BENCH_parallel.json");
-  os << "{\n  \"scale\": \"" << scale.name << "\",\n"
+  os << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name << "\",\n"
      << "  \"hardware_concurrency\": "
      << std::thread::hardware_concurrency() << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -338,7 +339,9 @@ void write_parallel_scaling_json() {
                                    : 0.0)
        << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  const obs::ProcMemory mem = obs::read_proc_memory();
+  os << "  ],\n  \"rss_mb\": " << mem.rss_mb
+     << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
   std::cout << "wrote BENCH_parallel.json (" << cases.size() << " cases)\n";
 }
 

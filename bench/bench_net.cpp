@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "fl/transport.h"
+#include "obs/procstat.h"
 #include "obs/telemetry.h"
 
 namespace {
@@ -104,8 +105,8 @@ int main() {
   util::Table table({"method", "channel", "final acc (%)", "wire (MB)",
                      "lost", "drops", "wall (s)"});
   std::ofstream json("BENCH_net.json");
-  json << "{\n  \"scale\": \"" << scale.name << "\",\n  \"cycles\": "
-       << task.cycles << ",\n  \"strategies\": [\n";
+  json << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name
+       << "\",\n  \"cycles\": " << task.cycles << ",\n  \"strategies\": [\n";
 
   for (std::size_t m = 0; m < methods.size(); ++m) {
     const std::string& method = methods[m];
@@ -148,7 +149,9 @@ int main() {
     }
     json << "    ]}" << (m + 1 < methods.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  const obs::ProcMemory mem = obs::read_proc_memory();
+  json << "  ],\n  \"rss_mb\": " << mem.rss_mb
+       << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
 
   util::print_banner(std::cout,
                      "Network simulation: wire bytes, faults and accuracy "

@@ -6,9 +6,8 @@
 // report rounds per wall-clock second, the peak live-replica footprint
 // (the sum of materialized client models — the memory the lazy-client
 // design is bounding), and the process peak RSS. Written machine-readably
-// to BENCH_scale.json so CI can track scaling regressions.
-#include <sys/resource.h>
-
+// to BENCH_scale.json (schema 1) so CI can track scaling regressions via
+// bench_compare.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -18,6 +17,7 @@
 #include "bench_common.h"
 #include "core/straggler_id.h"
 #include "core/target.h"
+#include "obs/procstat.h"
 #include "sim/population.h"
 #include "sim/sampler.h"
 #include "util/table.h"
@@ -28,7 +28,8 @@ using namespace helios;
 
 struct ScaleStats {
   double accuracy = 0.0;
-  double wall_seconds = 0.0;
+  double setup_seconds = 0.0;     // fleet build + straggler id + sampler
+  double wall_seconds = 0.0;      // the strategy run itself
   double rounds_per_second = 0.0;
   double peak_replica_mb = 0.0;   // max over rounds of live replica bytes
   double final_replica_mb = 0.0;  // after the last round's hibernation
@@ -36,14 +37,8 @@ struct ScaleStats {
   std::size_t cohort_rounds = 0;  // sampled client-rounds
 };
 
-double peak_rss_mb() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  // ru_maxrss is KiB on Linux.
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
-
 ScaleStats run_once(const std::string& method, int devices, int cycles) {
+  const auto setup0 = std::chrono::steady_clock::now();
   const sim::PopulationGenerator pop(sim::mobile_longtail(devices));
   fl::Fleet fleet = sim::build_fleet(pop);
   // Flag the slowest quarter (rank-based suits a long tail) and assign
@@ -59,6 +54,8 @@ ScaleStats run_once(const std::string& method, int devices, int cycles) {
   sim::CohortSampler sampler(sopts);
   sampler.attach(&fleet);
   fleet.set_sampler(&sampler);
+  const std::chrono::duration<double> setup =
+      std::chrono::steady_clock::now() - setup0;
 
   auto strategy = bench::make_strategy(method);
   ScaleStats s;
@@ -80,13 +77,14 @@ ScaleStats run_once(const std::string& method, int devices, int cycles) {
   for (auto& c : fleet.clients()) sampled += c->materialized() ? 1 : 0;
   peak_bytes = std::max(peak_bytes, fleet.live_replica_bytes());
   s.accuracy = result.final_accuracy();
+  s.setup_seconds = setup.count();
   s.wall_seconds = wall.count();
   s.rounds_per_second =
       wall.count() > 0.0 ? static_cast<double>(cycles) / wall.count() : 0.0;
   s.peak_replica_mb = static_cast<double>(peak_bytes) / 1e6;
   s.final_replica_mb =
       static_cast<double>(fleet.live_replica_bytes()) / 1e6;
-  s.peak_rss_mb = peak_rss_mb();
+  s.peak_rss_mb = obs::read_proc_memory().peak_rss_mb;
   s.cohort_rounds = sampled;
   fleet.set_sampler(nullptr);
   return s;
@@ -108,8 +106,8 @@ int main() {
                      "peak replicas (MB)", "full fleet (MB)", "peak RSS (MB)",
                      "final acc (%)"});
   std::ofstream json("BENCH_scale.json");
-  json << "{\n  \"scale\": \"" << scale.name << "\",\n  \"cycles\": "
-       << cycles << ",\n  \"points\": [\n";
+  json << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name
+       << "\",\n  \"cycles\": " << cycles << ",\n  \"points\": [\n";
 
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const int devices = sizes[i];
@@ -134,6 +132,7 @@ int main() {
                      util::Table::num(s.accuracy * 100.0, 2)});
       json << "      {\"name\": \"" << methods[m]
            << "\", \"rounds_per_second\": " << s.rounds_per_second
+           << ", \"setup_seconds\": " << s.setup_seconds
            << ", \"wall_seconds\": " << s.wall_seconds
            << ", \"peak_replica_mb\": " << s.peak_replica_mb
            << ", \"final_replica_mb\": " << s.final_replica_mb
@@ -144,7 +143,9 @@ int main() {
     }
     json << "    ]}" << (i + 1 < sizes.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  const obs::ProcMemory mem = obs::read_proc_memory();
+  json << "  ],\n  \"rss_mb\": " << mem.rss_mb
+       << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
 
   util::print_banner(std::cout,
                      "Population scale: rounds/s and memory, Helios vs "

@@ -11,12 +11,20 @@
 // dashboard switches to its fleet-summary mode (percentiles over devices)
 // above 32 devices.
 //
+// The run journal (flight recorder) is on: every round's lifecycle lands in
+// population_scale.journal.jsonl, and the run ends by replaying that journal
+// back into a dashboard to show it reconstructs the live one exactly (the
+// `helios-journal` CLI does the same offline).
+//
 //   $ ./population_scale
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/helios_strategy.h"
 #include "core/straggler_id.h"
 #include "core/target.h"
+#include "obs/journal_reader.h"
 #include "obs/telemetry.h"
 #include "sim/churn.h"
 #include "sim/population.h"
@@ -29,7 +37,10 @@ int main() {
   const int kDevices = 256;
   const int kCycles = 8;
 
-  obs::TelemetrySink telemetry;
+  obs::TelemetryConfig tcfg;
+  tcfg.journal = true;
+  tcfg.artifact_prefix = "population_scale";
+  obs::TelemetrySink telemetry(tcfg);
   const sim::PopulationGenerator pop(sim::mobile_longtail(kDevices));
   fl::Fleet fleet = sim::build_fleet(pop);
   fleet.set_telemetry(&telemetry);
@@ -108,7 +119,25 @@ int main() {
             << "); unsampled devices hold no model replica, so peak memory "
                "tracks the cohort, not the population.\n";
 
+  // Close the artifacts, then prove the flight recorder's fidelity: parse
+  // the journal back and replay it into a fresh dashboard — the rendering
+  // must match the live one byte for byte.
   fleet.set_sampler(nullptr);
   fleet.set_telemetry(nullptr);
-  return 0;
+  telemetry.flush();
+
+  std::ifstream journal("population_scale.journal.jsonl");
+  const std::vector<obs::JournalEvent> events = obs::read_journal(journal);
+  obs::StragglerDashboard replayed;
+  obs::replay_dashboard(events, replayed);
+  std::ostringstream live, offline;
+  telemetry.render_dashboard(live);
+  replayed.render(offline);
+  std::cout << "\njournal: " << events.size()
+            << " events in population_scale.journal.jsonl; replayed "
+               "dashboard "
+            << (live.str() == offline.str() ? "matches the live one exactly"
+                                            : "DIVERGES from the live one")
+            << ".\n";
+  return live.str() == offline.str() ? 0 : 1;
 }

@@ -92,16 +92,22 @@ std::vector<Client*> Fleet::round_roster(int round, bool hibernate_unsampled) {
   std::vector<Client*> active = active_clients();
   if (!sampler_) return active;
   std::vector<Client*> cohort = sampler_->sample(active, round);
-  if (hibernate_unsampled) {
-    // Membership via the cohort itself (not selected()): a sampler's
-    // empty-cohort fallback may include clients selected() rejects.
-    for (Client* c : active) {
-      if (std::find(cohort.begin(), cohort.end(), c) == cohort.end()) {
-        c->hibernate();
+  for (Client* c : active) {
+    if (std::find(cohort.begin(), cohort.end(), c) == cohort.end()) {
+      if (telemetry_) {
+        telemetry_->record_device_skipped(round, c->id(), /*dead=*/false);
       }
+      // Membership via the cohort itself (not selected()): a sampler's
+      // empty-cohort fallback may include clients selected() rejects.
+      if (hibernate_unsampled) c->hibernate();
     }
   }
   if (telemetry_) {
+    for (const auto& c : clients_) {
+      if (!c->active()) {
+        telemetry_->record_device_skipped(round, c->id(), /*dead=*/true);
+      }
+    }
     telemetry_->record_cohort(round, clients_.size(), active.size(),
                               cohort.size());
   }

@@ -118,7 +118,8 @@ NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
       d.arrived.push_back(decode(frames[i], base_params, updates[i]));
       if (sink != nullptr) {
         sink->record_device_transfer(updates[i].client_id, frames[i].size(), 1,
-                                     0, true, false,
+                                     0, /*delivered=*/true,
+                                     /*deadline_missed=*/false, /*died=*/false,
                                      updates[i].upload_seconds);
       }
     }
@@ -157,7 +158,8 @@ NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
     if (sink != nullptr) {
       sink->record_device_transfer(del.device_id, del.bytes_on_wire,
                                    del.transmissions, del.lost_frames,
-                                   accepted, del.died, del.comm_seconds);
+                                   accepted, del.deadline_missed, del.died,
+                                   del.comm_seconds);
     }
   }
   d.round_seconds = out.round_close_s - round_start;
@@ -183,8 +185,10 @@ NetworkSession::SingleDelivery NetworkSession::deliver_update(
     s.comm_seconds = update.upload_seconds;
     s.settle_s = start_s + update.upload_seconds;
     if (sink != nullptr) {
-      sink->record_device_transfer(update.client_id, frame.size(), 1, 0, true,
-                                   false, update.upload_seconds);
+      sink->record_device_transfer(update.client_id, frame.size(), 1, 0,
+                                   /*delivered=*/true,
+                                   /*deadline_missed=*/false, /*died=*/false,
+                                   update.upload_seconds);
     }
     return s;
   }
@@ -205,7 +209,8 @@ NetworkSession::SingleDelivery NetworkSession::deliver_update(
   if (sink != nullptr) {
     sink->record_device_transfer(del.device_id, del.bytes_on_wire,
                                  del.transmissions, del.lost_frames,
-                                 del.delivered, del.died, del.comm_seconds);
+                                 del.delivered, del.deadline_missed, del.died,
+                                 del.comm_seconds);
   }
   return s;
 }

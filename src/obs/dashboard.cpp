@@ -1,6 +1,7 @@
 #include "obs/dashboard.h"
 
 #include <algorithm>
+#include <array>
 #include <span>
 #include <vector>
 
@@ -54,54 +55,107 @@ void StragglerDashboard::render_devices(std::ostream& os) const {
   table.print(os);
 }
 
-void StragglerDashboard::render_summary(std::ostream& os) const {
+namespace {
+
+/// Everything the fleet summary reports, computed once and shared between
+/// the console rendering and the JSON export so the two never drift.
+struct FleetSummary {
   std::vector<double> r_n;
   std::vector<double> alpha_n;
   std::vector<double> wire_mb;
   std::vector<double> compute_s;
   std::vector<double> comm_s;
+  std::size_t devices = 0;
   std::size_t stragglers = 0;
   std::size_t dead = 0;
   long long cycles = 0;
   long long forced = 0;
   long long drops = 0;
   long long retransmits = 0;
-  for (const auto& [id, d] : devices_) {
-    r_n.push_back(d.mean_r_n());
-    alpha_n.push_back(d.alpha_n);
-    wire_mb.push_back(static_cast<double>(d.wire_bytes) / 1e6);
-    compute_s.push_back(d.compute_seconds);
-    comm_s.push_back(d.comm_seconds);
-    stragglers += d.straggler ? 1 : 0;
-    dead += d.dead ? 1 : 0;
-    cycles += d.cycles;
-    forced += d.forced_neurons;
-    drops += d.drops;
-    retransmits += d.retransmits;
-  }
+};
 
-  os << "fleet: " << devices_.size() << " devices (" << stragglers
-     << " stragglers, " << dead << " dead), " << cycles << " cycles, "
-     << forced << " forced neurons, " << retransmits << " retx, " << drops
-     << " drops\n";
+FleetSummary collect_summary(const std::map<int, DeviceStats>& devices) {
+  FleetSummary s;
+  s.devices = devices.size();
+  for (const auto& [id, d] : devices) {
+    s.r_n.push_back(d.mean_r_n());
+    s.alpha_n.push_back(d.alpha_n);
+    s.wire_mb.push_back(static_cast<double>(d.wire_bytes) / 1e6);
+    s.compute_s.push_back(d.compute_seconds);
+    s.comm_s.push_back(d.comm_seconds);
+    s.stragglers += d.straggler ? 1 : 0;
+    s.dead += d.dead ? 1 : 0;
+    s.cycles += d.cycles;
+    s.forced += d.forced_neurons;
+    s.drops += d.drops;
+    s.retransmits += d.retransmits;
+  }
+  return s;
+}
+
+/// The summary's metric rows, in render order.
+struct SummaryRow {
+  const char* label;      // console label
+  const char* json_key;   // JSON object key
+  std::span<const double> values;
+  int precision;
+};
+
+std::array<SummaryRow, 5> summary_rows(const FleetSummary& s) {
+  return {SummaryRow{"r_n (run mean)", "r_n", s.r_n, 3},
+          SummaryRow{"alpha_n", "alpha_n", s.alpha_n, 4},
+          SummaryRow{"wire (MB)", "wire_mb", s.wire_mb, 2},
+          SummaryRow{"compute (s)", "compute_seconds", s.compute_s, 3},
+          SummaryRow{"comm (s)", "comm_seconds", s.comm_s, 3}};
+}
+
+}  // namespace
+
+void StragglerDashboard::render_summary(std::ostream& os) const {
+  const FleetSummary s = collect_summary(devices_);
+
+  os << "fleet: " << s.devices << " devices (" << s.stragglers
+     << " stragglers, " << s.dead << " dead), " << s.cycles << " cycles, "
+     << s.forced << " forced neurons, " << s.retransmits << " retx, "
+     << s.drops << " drops\n";
 
   util::Table table({"metric", "p50", "p90", "p99", "mean", "max"});
-  auto row = [&](const std::string& name, std::span<const double> xs,
-                 int prec) {
-    if (xs.empty()) return;
-    table.add_row({name, util::Table::num(util::percentile(xs, 50.0), prec),
-                   util::Table::num(util::percentile(xs, 90.0), prec),
-                   util::Table::num(util::percentile(xs, 99.0), prec),
-                   util::Table::num(util::mean(xs), prec),
-                   util::Table::num(*std::max_element(xs.begin(), xs.end()),
-                                    prec)});
-  };
-  row("r_n (run mean)", r_n, 3);
-  row("alpha_n", alpha_n, 4);
-  row("wire (MB)", wire_mb, 2);
-  row("compute (s)", compute_s, 3);
-  row("comm (s)", comm_s, 3);
+  for (const SummaryRow& r : summary_rows(s)) {
+    if (r.values.empty()) continue;
+    table.add_row(
+        {r.label, util::Table::num(util::percentile(r.values, 50.0), r.precision),
+         util::Table::num(util::percentile(r.values, 90.0), r.precision),
+         util::Table::num(util::percentile(r.values, 99.0), r.precision),
+         util::Table::num(util::mean(r.values), r.precision),
+         util::Table::num(
+             *std::max_element(r.values.begin(), r.values.end()),
+             r.precision)});
+  }
   table.print(os);
+}
+
+void StragglerDashboard::write_summary_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FleetSummary s = collect_summary(devices_);
+  os << "{\n  \"devices\": " << s.devices
+     << ",\n  \"stragglers\": " << s.stragglers << ",\n  \"dead\": " << s.dead
+     << ",\n  \"cycles\": " << s.cycles
+     << ",\n  \"forced_neurons\": " << s.forced
+     << ",\n  \"retransmits\": " << s.retransmits
+     << ",\n  \"drops\": " << s.drops << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const SummaryRow& r : summary_rows(s)) {
+    if (r.values.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << r.json_key
+       << "\": {\"p50\": " << util::percentile(r.values, 50.0)
+       << ", \"p90\": " << util::percentile(r.values, 90.0)
+       << ", \"p99\": " << util::percentile(r.values, 99.0)
+       << ", \"mean\": " << util::mean(r.values) << ", \"max\": "
+       << *std::max_element(r.values.begin(), r.values.end()) << '}';
+  }
+  os << "\n  }\n}\n";
 }
 
 void StragglerDashboard::write_json(std::ostream& os) const {

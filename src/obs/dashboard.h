@@ -86,6 +86,9 @@ class StragglerDashboard {
   void render(std::ostream& os) const;
   /// Machine-readable dump, one object per device.
   void write_json(std::ostream& os) const;
+  /// Machine-readable fleet percentile summary: the same p50/p90/p99/mean/max
+  /// rows render_summary prints, plus the header counts, as one JSON object.
+  void write_summary_json(std::ostream& os) const;
 
   /// Override the per-device vs fleet-summary cutover (device count).
   void set_summary_threshold(std::size_t n) { summary_threshold_ = n; }

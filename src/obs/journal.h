@@ -1,0 +1,122 @@
+// Run journal — the flight recorder.
+//
+// An append-only JSONL event stream recording every round's lifecycle at
+// per-device granularity: cohort draws, devices trained or skipped (hollow /
+// dead), submodel mask sizes, upload attempts / retransmits / drops /
+// deadline misses, frame wire bytes, aggregation weights and renormalized
+// partial rounds, rotation pressure and churn. Where the metrics registry
+// keeps aggregates and the dashboard keeps per-device *totals*, the journal
+// keeps the individual events, so a finished run can be summarized, diffed
+// against another run, or replayed into the dashboard after the fact
+// (see obs/journal_reader.h and the `helios-journal` CLI).
+//
+// Line format (schema v1) — one flat JSON object per line, short keys:
+//   {"v":1,"t":"train","r":3,"dev":7,"vt":1.25,"w":18.4, ...fields...}
+//     v    schema version (on every line, so a file tail is self-describing)
+//     t    event type
+//     r    round / cycle id (-1 when not in a round)
+//     dev  device id (-1 for fleet-level events)
+//     vt   virtual-clock seconds at emission
+//     w    wall-clock milliseconds since the journal opened
+// Doubles are printed with %.17g, so a parse -> replay round trip is
+// bit-exact.
+//
+// Event types:
+//   run_start  run_end                   — journal lifecycle
+//   cohort     {pop, act, sam}           — round cohort draw
+//   skip       {why: "hollow" | "dead"}  — device not participating
+//   train      {prof, strag, vol, mask, tot, train_s, up_s, up_mb, loss}
+//   xfer       {bytes, tx, lost, ok, miss, dead, comm_s}
+//   agg        {r_n, alpha}              — aggregation weight actually used
+//   rot        {forced, cs0..cs3}        — rotation regulation snapshot
+//   net_round  {bytes, n, okn, lost, retx, miss, dead, renorm}
+//   churn      {in, out, pop}
+//   round      {strat, acc, loss, up_mb} — cycle completed
+//
+// Threading: writes are serialized by one mutex (journaling is for insight;
+// events are rare next to kernel work). Per-device causality is preserved —
+// one device's events appear in their program order — while events of
+// different devices may interleave differently across thread counts, which
+// is why the reader's summaries aggregate per device before comparing.
+//
+// Disabled path: a RunJournal constructed with a null stream ignores every
+// call after one branch — no clock read, no allocation, no I/O.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+namespace helios::obs {
+
+class RunJournal {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Journals to `os` (not owned; must outlive the journal). A null stream
+  /// produces a disabled journal: every record call returns after one
+  /// branch. Writes the run_start line immediately when enabled.
+  explicit RunJournal(std::ostream* os);
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  bool enabled() const { return os_ != nullptr; }
+  std::uint64_t event_count() const { return events_; }
+
+  /// Common stamps carried by every event. `round` / `device` use -1 for
+  /// "not applicable"; `vt` is the virtual clock in seconds.
+  struct Stamp {
+    int round = -1;
+    int device = -1;
+    double vt = 0.0;
+  };
+
+  // ---- Event records (no-ops when disabled) ----
+
+  void cohort(const Stamp& s, std::size_t population, std::size_t active,
+              std::size_t sampled);
+  /// A device sitting a round out: `why` is "hollow" (active but not
+  /// sampled, replica hibernated) or "dead" (deactivated).
+  void skip(const Stamp& s, std::string_view why);
+  void train(const Stamp& s, std::string_view profile, bool straggler,
+             double volume, int mask_neurons, int neuron_total,
+             double train_seconds, double upload_seconds, double upload_mb,
+             double mean_loss);
+  void transfer(const Stamp& s, std::size_t bytes_on_wire, int transmissions,
+                int lost_frames, bool delivered, bool deadline_missed,
+                bool died, double comm_seconds);
+  void aggregation(const Stamp& s, double r_n, double alpha_share);
+  void rotation(const Stamp& s, int forced, int cs0, int cs1, int cs2,
+                int cs3);
+  /// One synchronous round's network closure; `renormalized` marks a
+  /// partial round (fewer arrivals than participants, weights re-spread).
+  void network_round(const Stamp& s, std::size_t bytes_on_wire,
+                     int participants, int delivered, int lost_frames,
+                     int retransmits, int deadline_misses, int deaths,
+                     bool renormalized);
+  void churn(const Stamp& s, int arrivals, int departures,
+             std::size_t population);
+  void round_result(const Stamp& s, std::string_view strategy,
+                    double accuracy, double mean_loss, double upload_mb);
+
+  /// Writes the run_end line (once); further events are dropped.
+  void close();
+
+ private:
+  /// Appends one finished line under the lock and counts it.
+  void commit(std::string& line);
+  double wall_ms() const;
+
+  std::ostream* os_;  // null = disabled
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t events_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace helios::obs

@@ -1,0 +1,375 @@
+#include "obs/journal_reader.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"  // json_escape
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace helios::obs {
+
+std::vector<JournalEvent> read_journal(std::istream& is) {
+  std::vector<JournalEvent> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    util::JsonValue v;
+    try {
+      v = util::JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("journal line " + std::to_string(lineno) +
+                               ": " + e.what());
+    }
+    if (!v.is_object()) {
+      throw std::runtime_error("journal line " + std::to_string(lineno) +
+                               ": not an object");
+    }
+    const int schema = static_cast<int>(v.number_or("v", 0));
+    if (schema != RunJournal::kSchemaVersion) {
+      throw std::runtime_error("journal line " + std::to_string(lineno) +
+                               ": unsupported schema v" +
+                               std::to_string(schema));
+    }
+    JournalEvent ev;
+    ev.type = v.string_or("t", "");
+    ev.round = static_cast<int>(v.number_or("r", -1));
+    ev.device = static_cast<int>(v.number_or("dev", -1));
+    ev.vt = v.number_or("vt", 0.0);
+    ev.wall_ms = v.number_or("w", 0.0);
+    ev.fields = std::move(v);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+JournalSummary summarize_journal(const std::vector<JournalEvent>& events) {
+  JournalSummary s;
+  s.events = events.size();
+  for (const JournalEvent& ev : events) {
+    const util::JsonValue& f = ev.fields;
+    s.schema = std::max(s.schema, static_cast<int>(f.number_or("v", 0)));
+    s.wall_seconds = std::max(s.wall_seconds, ev.wall_ms / 1e3);
+    if (ev.type == "train") {
+      DeviceJournal& d = s.devices[ev.device];
+      d.device = ev.device;
+      if (d.profile.empty()) d.profile = f.string_or("prof", "");
+      d.straggler = f.number_or("strag", 0) != 0;
+      ++d.trained_rounds;
+      const double vol = f.number_or("vol", 1.0);
+      if (d.first_volume < 0.0) d.first_volume = vol;
+      d.last_volume = vol;
+      d.compute_seconds += f.number_or("train_s", 0.0);
+      d.comm_seconds += f.number_or("up_s", 0.0);
+    } else if (ev.type == "skip") {
+      DeviceJournal& d = s.devices[ev.device];
+      d.device = ev.device;
+      if (f.string_or("why", "") == "dead") {
+        ++d.skipped_dead;
+      } else {
+        ++d.skipped_hollow;
+      }
+    } else if (ev.type == "agg") {
+      DeviceJournal& d = s.devices[ev.device];
+      d.device = ev.device;
+      d.r_n_sum += f.number_or("r_n", 0.0);
+      ++d.r_n_count;
+    } else if (ev.type == "xfer") {
+      DeviceJournal& d = s.devices[ev.device];
+      d.device = ev.device;
+      const auto bytes = static_cast<long long>(f.number_or("bytes", 0.0));
+      const int tx = static_cast<int>(f.number_or("tx", 0.0));
+      d.wire_bytes += bytes;
+      d.frames_sent += tx;
+      d.frames_lost += static_cast<int>(f.number_or("lost", 0.0));
+      d.retransmits += std::max(0, tx - 1);
+      if (f.number_or("ok", 1.0) == 0.0) ++d.drops;
+      if (f.number_or("miss", 0.0) != 0.0) ++d.deadline_misses;
+      if (f.number_or("dead", 0.0) != 0.0) d.dead = true;
+      s.bytes_on_wire += bytes;
+      s.frames_sent += tx;
+      s.frames_lost += static_cast<int>(f.number_or("lost", 0.0));
+      s.retransmits += std::max(0, tx - 1);
+      if (f.number_or("ok", 1.0) == 0.0) ++s.drops;
+      if (f.number_or("miss", 0.0) != 0.0) ++s.deadline_misses;
+      if (f.number_or("dead", 0.0) != 0.0) ++s.deaths;
+    } else if (ev.type == "net_round") {
+      if (f.number_or("renorm", 0.0) != 0.0) ++s.renormalized_rounds;
+    } else if (ev.type == "churn") {
+      s.churn_arrivals += static_cast<int>(f.number_or("in", 0.0));
+      s.churn_departures += static_cast<int>(f.number_or("out", 0.0));
+    } else if (ev.type == "round") {
+      s.rounds = std::max(s.rounds, ev.round + 1);
+      s.strategy = f.string_or("strat", s.strategy);
+      s.final_accuracy = f.number_or("acc", s.final_accuracy);
+      s.final_virtual_time = ev.vt;
+    }
+    // Unknown types (newer writers) are intentionally ignored.
+  }
+  return s;
+}
+
+namespace {
+
+struct Percentiles {
+  double p50 = 0.0, p90 = 0.0, max = 0.0;
+};
+
+Percentiles percentiles_of(std::vector<double>& xs) {
+  Percentiles p;
+  if (xs.empty()) return p;
+  p.p50 = util::percentile(xs, 50.0);
+  p.p90 = util::percentile(xs, 90.0);
+  p.max = *std::max_element(xs.begin(), xs.end());
+  return p;
+}
+
+}  // namespace
+
+void write_summary(std::ostream& os, const JournalSummary& s) {
+  os << "run: " << (s.strategy.empty() ? "?" : s.strategy) << ", "
+     << s.rounds << " rounds, " << s.devices.size() << " devices, "
+     << s.events << " events (schema v" << s.schema << ")\n";
+  os << "final: accuracy " << util::Table::num(s.final_accuracy * 100.0, 2)
+     << "%, virtual time " << util::Table::num(s.final_virtual_time, 3)
+     << " s, wall " << util::Table::num(s.wall_seconds, 2) << " s\n";
+  os << "network: " << util::Table::num(
+            static_cast<double>(s.bytes_on_wire) / 1e6, 2)
+     << " MB on wire, " << s.frames_sent << " frames (" << s.frames_lost
+     << " lost, " << s.retransmits << " retx), " << s.drops << " drops, "
+     << s.deadline_misses << " deadline misses, " << s.deaths << " deaths, "
+     << s.renormalized_rounds << " renormalized rounds\n";
+  if (s.churn_arrivals > 0 || s.churn_departures > 0) {
+    os << "churn: +" << s.churn_arrivals << " / -" << s.churn_departures
+       << " devices\n";
+  }
+
+  std::vector<double> trained, skipped, drift, r_n;
+  int stragglers = 0, dead = 0;
+  for (const auto& [id, d] : s.devices) {
+    trained.push_back(d.trained_rounds);
+    skipped.push_back(d.skipped_hollow + d.skipped_dead);
+    if (d.straggler && d.first_volume > 0.0) {
+      drift.push_back(d.last_volume - d.first_volume);
+    }
+    if (d.r_n_count > 0) r_n.push_back(d.mean_r_n());
+    stragglers += d.straggler ? 1 : 0;
+    dead += d.dead ? 1 : 0;
+  }
+  os << "participation: " << stragglers << " stragglers, " << dead
+     << " dead\n";
+  util::Table table({"per device", "p50", "p90", "max"});
+  auto row = [&](const char* name, std::vector<double>& xs, int prec) {
+    if (xs.empty()) return;
+    const Percentiles p = percentiles_of(xs);
+    table.add_row({name, util::Table::num(p.p50, prec),
+                   util::Table::num(p.p90, prec),
+                   util::Table::num(p.max, prec)});
+  };
+  row("rounds trained", trained, 0);
+  row("rounds skipped", skipped, 0);
+  row("mean r_n", r_n, 3);
+  row("volume drift", drift, 3);
+  table.print(os);
+}
+
+void write_summary_json(std::ostream& os, const JournalSummary& s) {
+  os << "{\"schema\":" << s.schema << ",\"strategy\":\"";
+  json_escape(os, s.strategy);
+  os << "\",\"rounds\":" << s.rounds << ",\"events\":" << s.events
+     << ",\"devices\":" << s.devices.size()
+     << ",\"final_accuracy\":" << s.final_accuracy
+     << ",\"final_virtual_time\":" << s.final_virtual_time
+     << ",\"wall_seconds\":" << s.wall_seconds
+     << ",\"bytes_on_wire\":" << s.bytes_on_wire
+     << ",\"frames_sent\":" << s.frames_sent
+     << ",\"frames_lost\":" << s.frames_lost
+     << ",\"retransmits\":" << s.retransmits << ",\"drops\":" << s.drops
+     << ",\"deadline_misses\":" << s.deadline_misses
+     << ",\"deaths\":" << s.deaths
+     << ",\"renormalized_rounds\":" << s.renormalized_rounds
+     << ",\"churn_arrivals\":" << s.churn_arrivals
+     << ",\"churn_departures\":" << s.churn_departures
+     << ",\"per_device\":[";
+  bool first = true;
+  for (const auto& [id, d] : s.devices) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"device\":" << id << ",\"profile\":\"";
+    json_escape(os, d.profile);
+    os << "\",\"straggler\":" << (d.straggler ? "true" : "false")
+       << ",\"trained_rounds\":" << d.trained_rounds
+       << ",\"skipped_hollow\":" << d.skipped_hollow
+       << ",\"skipped_dead\":" << d.skipped_dead
+       << ",\"first_volume\":" << d.first_volume
+       << ",\"last_volume\":" << d.last_volume
+       << ",\"mean_r_n\":" << d.mean_r_n()
+       << ",\"compute_seconds\":" << d.compute_seconds
+       << ",\"comm_seconds\":" << d.comm_seconds
+       << ",\"wire_bytes\":" << d.wire_bytes
+       << ",\"frames_sent\":" << d.frames_sent
+       << ",\"frames_lost\":" << d.frames_lost
+       << ",\"retransmits\":" << d.retransmits << ",\"drops\":" << d.drops
+       << ",\"deadline_misses\":" << d.deadline_misses
+       << ",\"dead\":" << (d.dead ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+}
+
+void replay_dashboard(const std::vector<JournalEvent>& events,
+                      StragglerDashboard& dash) {
+  for (const JournalEvent& ev : events) {
+    const util::JsonValue& f = ev.fields;
+    if (ev.type == "train") {
+      // Mirrors TelemetrySink::record_client_cycle's dashboard update.
+      dash.update(ev.device, [&](DeviceStats& d) {
+        if (d.name.empty()) d.name = f.string_or("prof", "");
+        d.straggler = f.number_or("strag", 0.0) != 0.0;
+        d.volume = f.number_or("vol", 1.0);
+        ++d.cycles;
+        d.trained_neurons = static_cast<int>(f.number_or("mask", 0.0));
+        d.neuron_total = static_cast<int>(f.number_or("tot", 0.0));
+        d.compute_seconds += f.number_or("train_s", 0.0);
+        d.comm_seconds += f.number_or("up_s", 0.0);
+        d.upload_mb += f.number_or("up_mb", 0.0);
+        d.last_loss = f.number_or("loss", 0.0);
+      });
+    } else if (ev.type == "agg") {
+      // Mirrors record_aggregation_weight.
+      dash.update(ev.device, [&](DeviceStats& d) {
+        d.r_n = f.number_or("r_n", 1.0);
+        d.r_n_sum += f.number_or("r_n", 1.0);
+        ++d.r_n_count;
+        d.alpha_n = f.number_or("alpha", 0.0);
+      });
+    } else if (ev.type == "rot") {
+      // Mirrors record_rotation.
+      dash.update(ev.device, [&](DeviceStats& d) {
+        d.forced_neurons += static_cast<long long>(f.number_or("forced", 0.0));
+        d.cs_hist = std::array<int, 4>{
+            static_cast<int>(f.number_or("cs0", 0.0)),
+            static_cast<int>(f.number_or("cs1", 0.0)),
+            static_cast<int>(f.number_or("cs2", 0.0)),
+            static_cast<int>(f.number_or("cs3", 0.0))};
+      });
+    } else if (ev.type == "xfer") {
+      // Mirrors record_device_transfer.
+      dash.update(ev.device, [&](DeviceStats& d) {
+        const int tx = static_cast<int>(f.number_or("tx", 0.0));
+        d.wire_bytes += static_cast<long long>(f.number_or("bytes", 0.0));
+        d.frames_sent += tx;
+        d.frames_lost += static_cast<int>(f.number_or("lost", 0.0));
+        d.retransmits += std::max(0, tx - 1);
+        if (f.number_or("ok", 1.0) == 0.0) ++d.drops;
+        if (f.number_or("dead", 0.0) != 0.0) d.dead = true;
+      });
+    }
+  }
+}
+
+namespace {
+
+struct DiffRow {
+  const char* field;
+  double a;
+  double b;
+};
+
+int emit_diff_rows(std::ostream& os, const char* scope,
+                   std::span<const DiffRow> rows) {
+  int differing = 0;
+  util::Table table({"field", "a", "b", "delta"});
+  for (const DiffRow& r : rows) {
+    if (r.a == r.b) continue;
+    ++differing;
+    table.add_row({r.field, util::Table::num(r.a, 4),
+                   util::Table::num(r.b, 4),
+                   util::Table::num(r.b - r.a, 4)});
+  }
+  if (differing > 0) {
+    os << scope << ":\n";
+    table.print(os);
+  }
+  return differing;
+}
+
+}  // namespace
+
+int write_diff(std::ostream& os, const JournalSummary& a,
+               const JournalSummary& b) {
+  const DiffRow run_rows[] = {
+      {"rounds", static_cast<double>(a.rounds), static_cast<double>(b.rounds)},
+      {"devices", static_cast<double>(a.devices.size()),
+       static_cast<double>(b.devices.size())},
+      {"final_accuracy", a.final_accuracy, b.final_accuracy},
+      {"final_virtual_time", a.final_virtual_time, b.final_virtual_time},
+      {"bytes_on_wire", static_cast<double>(a.bytes_on_wire),
+       static_cast<double>(b.bytes_on_wire)},
+      {"frames_sent", static_cast<double>(a.frames_sent),
+       static_cast<double>(b.frames_sent)},
+      {"frames_lost", static_cast<double>(a.frames_lost),
+       static_cast<double>(b.frames_lost)},
+      {"retransmits", static_cast<double>(a.retransmits),
+       static_cast<double>(b.retransmits)},
+      {"drops", static_cast<double>(a.drops), static_cast<double>(b.drops)},
+      {"deadline_misses", static_cast<double>(a.deadline_misses),
+       static_cast<double>(b.deadline_misses)},
+      {"deaths", static_cast<double>(a.deaths),
+       static_cast<double>(b.deaths)},
+      {"renormalized_rounds", static_cast<double>(a.renormalized_rounds),
+       static_cast<double>(b.renormalized_rounds)},
+      {"churn_arrivals", static_cast<double>(a.churn_arrivals),
+       static_cast<double>(b.churn_arrivals)},
+      {"churn_departures", static_cast<double>(a.churn_departures),
+       static_cast<double>(b.churn_departures)},
+  };
+  int differing = emit_diff_rows(os, "run", run_rows);
+
+  // Per-device diff over the union of device ids.
+  for (auto ita = a.devices.begin(), itb = b.devices.begin();
+       ita != a.devices.end() || itb != b.devices.end();) {
+    int id = 0;
+    const DeviceJournal* da = nullptr;
+    const DeviceJournal* db = nullptr;
+    if (itb == b.devices.end() ||
+        (ita != a.devices.end() && ita->first <= itb->first)) {
+      id = ita->first;
+      da = &ita->second;
+      if (itb != b.devices.end() && itb->first == id) db = &itb->second;
+    } else {
+      id = itb->first;
+      db = &itb->second;
+    }
+    static const DeviceJournal kEmpty;
+    const DeviceJournal& x = da != nullptr ? *da : kEmpty;
+    const DeviceJournal& y = db != nullptr ? *db : kEmpty;
+    const DiffRow device_rows[] = {
+        {"trained_rounds", static_cast<double>(x.trained_rounds),
+         static_cast<double>(y.trained_rounds)},
+        {"skipped", static_cast<double>(x.skipped_hollow + x.skipped_dead),
+         static_cast<double>(y.skipped_hollow + y.skipped_dead)},
+        {"mean_r_n", x.mean_r_n(), y.mean_r_n()},
+        {"last_volume", x.last_volume, y.last_volume},
+        {"wire_bytes", static_cast<double>(x.wire_bytes),
+         static_cast<double>(y.wire_bytes)},
+        {"retransmits", static_cast<double>(x.retransmits),
+         static_cast<double>(y.retransmits)},
+        {"drops", static_cast<double>(x.drops),
+         static_cast<double>(y.drops)},
+        {"dead", x.dead ? 1.0 : 0.0, y.dead ? 1.0 : 0.0},
+    };
+    const std::string scope = "device " + std::to_string(id);
+    differing += emit_diff_rows(os, scope.c_str(), device_rows);
+    if (da != nullptr) ++ita;
+    if (db != nullptr) ++itb;
+  }
+  if (differing == 0) os << "journals agree on all compared fields\n";
+  return differing;
+}
+
+}  // namespace helios::obs

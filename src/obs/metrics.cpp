@@ -133,6 +133,19 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus label values escape backslash, double quote and newline
+/// (exposition format text/plain 0.0.4).
+void prom_escape(std::ostream& os, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
 void write_labels_prom(std::ostream& os, const LabelSet& labels,
                        const char* extra_key = nullptr,
                        const std::string& extra_value = {}) {
@@ -142,11 +155,15 @@ void write_labels_prom(std::ostream& os, const LabelSet& labels,
   for (const auto& [k, v] : labels) {
     if (!first) os << ',';
     first = false;
-    os << prom_name(k) << "=\"" << v << '"';
+    os << prom_name(k) << "=\"";
+    prom_escape(os, v);
+    os << '"';
   }
   if (extra_key) {
     if (!first) os << ',';
-    os << extra_key << "=\"" << extra_value << '"';
+    os << extra_key << "=\"";
+    prom_escape(os, extra_value);
+    os << '"';
   }
   os << '}';
 }
@@ -215,6 +232,10 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
       const char* type = s.kind == Kind::kCounter   ? "counter"
                          : s.kind == Kind::kGauge   ? "gauge"
                                                     : "histogram";
+      // The dotted registry name doubles as the help string: it is the one
+      // piece of metadata the exposition would otherwise lose to prom_name's
+      // character mangling.
+      os << "# HELP " << family << ' ' << s.name << '\n';
       os << "# TYPE " << family << ' ' << type << '\n';
       last_family = family;
     }

@@ -1,0 +1,75 @@
+#include "obs/procstat.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace helios::obs {
+namespace {
+
+/// Parses a "VmRSS:   123456 kB" style line; returns kB or -1.
+double parse_kb_line(const std::string& line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) return -1.0;
+  double kb = -1.0;
+  if (std::sscanf(line.c_str() + colon + 1, "%lf", &kb) != 1) return -1.0;
+  return kb;
+}
+
+}  // namespace
+
+ProcMemory read_proc_memory() {
+  ProcMemory mem;
+  std::ifstream status("/proc/self/status");
+  if (status) {
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmRSS:", 0) == 0) {
+        const double kb = parse_kb_line(line);
+        if (kb >= 0) {
+          mem.rss_mb = kb / 1024.0;
+          mem.ok = true;
+        }
+      } else if (line.rfind("VmHWM:", 0) == 0) {
+        const double kb = parse_kb_line(line);
+        if (kb >= 0) {
+          mem.peak_rss_mb = kb / 1024.0;
+          mem.ok = true;
+        }
+      }
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (mem.peak_rss_mb <= 0.0) {
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+      mem.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+      mem.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+      mem.ok = true;
+    }
+  }
+#endif
+  return mem;
+}
+
+void sample_process_memory(MetricsRegistry& metrics) {
+  const ProcMemory mem = read_proc_memory();
+  if (!mem.ok) return;
+  if (mem.rss_mb > 0.0) metrics.gauge("helios.proc.rss_mb").set(mem.rss_mb);
+  if (mem.peak_rss_mb > 0.0) {
+    metrics.gauge("helios.proc.peak_rss_mb").set(mem.peak_rss_mb);
+  }
+}
+
+}  // namespace helios::obs

@@ -1,0 +1,24 @@
+// Process-level resource probes: current and peak RSS, read from
+// /proc/self/status (VmRSS / VmHWM) with a getrusage fallback for the peak
+// on systems without procfs. Used by TelemetrySink::flush and the bench
+// writers so every artifact reports memory the same way.
+#pragma once
+
+namespace helios::obs {
+
+class MetricsRegistry;
+
+struct ProcMemory {
+  double rss_mb = 0.0;       // resident set right now (0 when unavailable)
+  double peak_rss_mb = 0.0;  // high-water mark since process start
+  bool ok = false;           // at least one of the two was read
+};
+
+/// Snapshot of the process's memory footprint.
+ProcMemory read_proc_memory();
+
+/// Sets the helios.proc.rss_mb / helios.proc.peak_rss_mb gauges from a
+/// fresh snapshot (no-op when neither value is available).
+void sample_process_memory(MetricsRegistry& metrics);
+
+}  // namespace helios::obs

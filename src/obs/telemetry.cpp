@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/procstat.h"
 #include "util/log.h"
 
 namespace helios::obs {
@@ -30,6 +31,15 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
     }
     tracer_->name_process(1, "helios (wall clock)");
     tracer_->name_process(2, "helios (virtual time)");
+  }
+  if (config_.journal) {
+    if (!config_.artifact_prefix.empty()) {
+      journal_file_ = std::make_unique<std::ofstream>(
+          config_.artifact_prefix + ".journal.jsonl");
+      journal_ = std::make_unique<RunJournal>(journal_file_.get());
+    } else {
+      journal_ = std::make_unique<RunJournal>(&journal_buffer_);
+    }
   }
 }
 
@@ -94,6 +104,12 @@ void TelemetrySink::record_client_cycle(
     d.last_loss = mean_loss;
   });
 
+  if (journal_) {
+    journal_->train(journal_stamp(device), profile_name, straggler, volume,
+                    trained_neurons, neuron_total, train_seconds,
+                    upload_seconds, upload_mb, mean_loss);
+  }
+
   // Virtual-time Gantt: one "train" + one "upload" slab per cycle on the
   // device's track, starting at the sink's current virtual time (set by the
   // strategy when the cycle began).
@@ -121,6 +137,9 @@ void TelemetrySink::record_aggregation_weight(int device, double r_n,
     ++d.r_n_count;
     d.alpha_n = alpha_share;
   });
+  if (journal_) {
+    journal_->aggregation(journal_stamp(device), r_n, alpha_share);
+  }
 }
 
 void TelemetrySink::record_rotation(int device, int forced_count,
@@ -137,6 +156,10 @@ void TelemetrySink::record_rotation(int device, int forced_count,
     d.forced_neurons += forced_count;
     d.cs_hist = cs_hist;
   });
+  if (journal_) {
+    journal_->rotation(journal_stamp(device), forced_count, cs_hist[0],
+                       cs_hist[1], cs_hist[2], cs_hist[3]);
+  }
 }
 
 void TelemetrySink::record_cycle_result(std::string_view strategy, int cycle,
@@ -155,12 +178,17 @@ void TelemetrySink::record_cycle_result(std::string_view strategy, int cycle,
                       {"accuracy", accuracy},
                       {"strategy", strategy}});
   }
+  if (journal_) {
+    journal_->round_result(RunJournal::Stamp{cycle, -1, virtual_time},
+                           strategy, accuracy, mean_loss, upload_mb);
+  }
 }
 
 void TelemetrySink::record_device_transfer(int device,
                                            std::size_t bytes_on_wire,
                                            int transmissions, int lost_frames,
-                                           bool delivered, bool died,
+                                           bool delivered,
+                                           bool deadline_missed, bool died,
                                            double comm_seconds) {
   const LabelSet labels{{"device", device_label(device)}};
   metrics_.counter("helios.net.bytes_on_wire_total", labels)
@@ -184,6 +212,12 @@ void TelemetrySink::record_device_transfer(int device,
     if (died) d.dead = true;
   });
 
+  if (journal_) {
+    journal_->transfer(journal_stamp(device), bytes_on_wire, transmissions,
+                       lost_frames, delivered, deadline_missed, died,
+                       comm_seconds);
+  }
+
   if (tracer_ && died) {
     tracer_->instant("device.death", {{"device", device}});
   }
@@ -206,6 +240,14 @@ void TelemetrySink::record_network_round(std::size_t bytes_on_wire,
   metrics_.counter("helios.net.deadline_missed_total")
       .add(static_cast<double>(deadline_misses));
   metrics_.counter("helios.net.deaths_total").add(static_cast<double>(deaths));
+  if (journal_) {
+    // A partial round (fewer arrivals than participants) makes the server
+    // renormalize the aggregation weights over what actually arrived.
+    journal_->network_round(journal_stamp(-1), bytes_on_wire, participants,
+                            delivered, lost_frames, retransmits,
+                            deadline_misses, deaths,
+                            /*renormalized=*/delivered < participants);
+  }
 }
 
 void TelemetrySink::record_cohort(int round, std::size_t population,
@@ -221,6 +263,10 @@ void TelemetrySink::record_cohort(int round, std::size_t population,
     tracer_->instant("sim.cohort", {{"round", round},
                                     {"sampled", static_cast<int>(sampled)},
                                     {"active", static_cast<int>(active)}});
+  }
+  if (journal_) {
+    journal_->cohort(RunJournal::Stamp{round, -1, virtual_time()}, population,
+                     active, sampled);
   }
 }
 
@@ -240,12 +286,28 @@ void TelemetrySink::record_churn(int round, int arrivals, int departures,
                                    {"arrivals", arrivals},
                                    {"departures", departures}});
   }
+  if (journal_ && (arrivals > 0 || departures > 0)) {
+    journal_->churn(RunJournal::Stamp{round, -1, virtual_time()}, arrivals,
+                    departures, population);
+  }
+}
+
+void TelemetrySink::record_device_skipped(int round, int device, bool dead) {
+  metrics_.counter("helios.sim.skipped_total",
+                   {{"reason", dead ? "dead" : "hollow"}})
+      .add(1.0);
+  if (journal_) {
+    journal_->skip(RunJournal::Stamp{round, device, virtual_time()},
+                   dead ? "dead" : "hollow");
+  }
 }
 
 void TelemetrySink::flush() {
   if (tracer_) tracer_->close();
+  if (journal_) journal_->close();
   if (flushed_ || config_.artifact_prefix.empty()) return;
   flushed_ = true;
+  sample_process_memory(metrics_);
   const std::string& p = config_.artifact_prefix;
   {
     std::ofstream os(p + ".metrics.json");
@@ -259,9 +321,18 @@ void TelemetrySink::flush() {
     std::ofstream os(p + ".dashboard.json");
     dashboard_.write_json(os);
   }
+  {
+    std::ofstream os(p + ".summary.json");
+    dashboard_.write_summary_json(os);
+  }
   if (trace_file_) trace_file_->flush();
+  if (journal_file_) journal_file_->flush();
 }
 
 std::string TelemetrySink::trace_text() const { return trace_buffer_.str(); }
+
+std::string TelemetrySink::journal_text() const {
+  return journal_buffer_.str();
+}
 
 }  // namespace helios::obs

@@ -1,13 +1,17 @@
 // TelemetrySink — the one handle a run needs for observability.
 //
-// Bundles the three pillars:
+// Bundles the four pillars:
 //   * MetricsRegistry   — counters / gauges / histograms, exported as JSON
 //                         and Prometheus text,
 //   * TraceWriter       — Chrome trace_event JSONL (chrome://tracing,
 //                         Perfetto), wall-clock spans + a virtual-time
 //                         device Gantt,
 //   * StragglerDashboard — the per-device r_n / alpha_n / rotation / time
-//                         split table.
+//                         split table,
+//   * RunJournal        — the flight recorder: an append-only JSONL event
+//                         stream of every round's lifecycle (opt-in via
+//                         TelemetryConfig::journal; see obs/journal.h and
+//                         the `helios-journal` CLI).
 //
 // Opt-in is one line: construct a sink and hand it to the fleet —
 //
@@ -31,6 +35,7 @@
 #include <string_view>
 
 #include "obs/dashboard.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,8 +44,14 @@ namespace helios::obs {
 struct TelemetryConfig {
   /// Emit trace events (spans, instants, virtual-time Gantt).
   bool tracing = true;
+  /// Record the run journal (flight recorder, obs/journal.h). With an
+  /// artifact prefix it lands in <prefix>.journal.jsonl; without one it
+  /// accumulates in memory (see journal_text()). Off by default: every
+  /// record call then reduces to a null-pointer branch.
+  bool journal = false;
   /// When non-empty, artifacts land in <prefix>.trace.json,
-  /// <prefix>.metrics.json, <prefix>.metrics.prom, <prefix>.dashboard.json.
+  /// <prefix>.metrics.json, <prefix>.metrics.prom, <prefix>.dashboard.json,
+  /// <prefix>.summary.json and (with journal) <prefix>.journal.jsonl.
   /// When empty, the trace accumulates in memory (see trace_text()).
   std::string artifact_prefix;
 };
@@ -57,6 +68,8 @@ class TelemetrySink {
   MetricsRegistry& metrics() { return metrics_; }
   StragglerDashboard& dashboard() { return dashboard_; }
   TraceWriter* tracer() { return tracer_.get(); }
+  /// The run journal (nullptr when TelemetryConfig::journal is off).
+  RunJournal* journal() { return journal_.get(); }
 
   /// Makes this sink the process-global one: HELIOS_TRACE_SPAN targets its
   /// tracer and util::log lines gain cycle/device context. Fleet calls this
@@ -109,10 +122,12 @@ class TelemetrySink {
 
   /// One device's upload transfer across the simulated network (attempts
   /// collapsed): actual bytes on the wire, transmissions incl. retransmits,
-  /// whether the server accepted the frame, and whether the channel died.
+  /// whether the server accepted the frame, whether the round deadline was
+  /// missed, and whether the channel died.
   void record_device_transfer(int device, std::size_t bytes_on_wire,
                               int transmissions, int lost_frames,
-                              bool delivered, bool died, double comm_seconds);
+                              bool delivered, bool deadline_missed, bool died,
+                              double comm_seconds);
 
   /// One synchronous round's network totals.
   void record_network_round(std::size_t bytes_on_wire, int participants,
@@ -129,6 +144,10 @@ class TelemetrySink {
   void record_churn(int round, int arrivals, int departures,
                     std::size_t population);
 
+  /// A device sitting round `round` out. `dead` distinguishes a
+  /// deactivated device from an active-but-unsampled (hollow) one.
+  void record_device_skipped(int round, int device, bool dead);
+
   // ---- Exports ----
 
   void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }
@@ -140,20 +159,33 @@ class TelemetrySink {
   }
   void render_dashboard(std::ostream& os) const { dashboard_.render(os); }
 
-  /// Closes the trace and, when an artifact prefix is configured, writes
-  /// the metrics / dashboard files. Safe to call more than once.
+  /// Closes the trace and journal, samples the process RSS gauges one last
+  /// time, and — when an artifact prefix is configured — writes the
+  /// metrics / dashboard / summary files. Safe to call more than once.
   void flush();
 
   /// In-memory trace contents (only when no artifact prefix was given).
   std::string trace_text() const;
+  /// In-memory journal contents (only when no artifact prefix was given).
+  std::string journal_text() const;
 
  private:
+  /// Stamps shared by every journal event: current cycle as the round id
+  /// plus the virtual clock. The journal is only consulted when non-null.
+  RunJournal::Stamp journal_stamp(int device) const {
+    return RunJournal::Stamp{cycle_.load(std::memory_order_relaxed), device,
+                             virtual_time()};
+  }
+
   TelemetryConfig config_;
   MetricsRegistry metrics_;
   StragglerDashboard dashboard_;
   std::unique_ptr<std::ofstream> trace_file_;
   std::ostringstream trace_buffer_;
   std::unique_ptr<TraceWriter> tracer_;
+  std::unique_ptr<std::ofstream> journal_file_;
+  std::ostringstream journal_buffer_;
+  std::unique_ptr<RunJournal> journal_;
   std::atomic<double> virtual_time_{0.0};
   std::atomic<int> cycle_{-1};
   std::atomic<int> device_{-1};

@@ -13,9 +13,11 @@
 
 #include "core/helios_strategy.h"
 #include "obs/metrics.h"
+#include "obs/procstat.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "test_support.h"
+#include "util/json.h"
 
 // ---- Allocation counting for the disabled-path test --------------------
 //
@@ -112,6 +114,54 @@ TEST(MetricsRegistryTest, PrometheusExport) {
   // Histogram buckets are cumulative and end with +Inf / sum / count.
   EXPECT_NE(text.find("helios_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("helios_lat_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusEmitsHelpAndEscapesLabelValues) {
+  obs::MetricsRegistry reg;
+  reg.counter("helios.odd", {{"path", "a\\b\"c\nd"}}).add(1);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  // HELP keeps the original dotted name next to the mangled family name.
+  EXPECT_NE(text.find("# HELP helios_odd helios.odd"), std::string::npos);
+  // Backslash, quote and newline in the label value are escaped per the
+  // exposition format, so the line stays one line and parses.
+  EXPECT_NE(text.find("helios_odd{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(ProcStatTest, ReportsProcessMemoryAndSetsGauges) {
+  const obs::ProcMemory mem = obs::read_proc_memory();
+  EXPECT_TRUE(mem.ok);
+  EXPECT_GT(mem.peak_rss_mb, 0.0);
+  obs::MetricsRegistry reg;
+  obs::sample_process_memory(reg);
+  EXPECT_GT(reg.gauge("helios.proc.rss_mb").value(), 0.0);
+  EXPECT_GE(reg.gauge("helios.proc.peak_rss_mb").value(),
+            reg.gauge("helios.proc.rss_mb").value());
+}
+
+TEST(StragglerDashboardTest, SummaryJsonMatchesFleetStats) {
+  obs::StragglerDashboard dash;
+  for (int d = 0; d < 40; ++d) {
+    dash.update(d, [&](obs::DeviceStats& s) {
+      s.straggler = d % 4 == 0;
+      ++s.cycles;
+      s.compute_seconds = d;
+    });
+  }
+  std::ostringstream os;
+  dash.write_summary_json(os);
+  const util::JsonValue v = util::JsonValue::parse(os.str());
+  EXPECT_EQ(v.number_or("devices", 0), 40.0);
+  EXPECT_EQ(v.number_or("stragglers", 0), 10.0);
+  EXPECT_EQ(v.number_or("cycles", 0), 40.0);
+  const util::JsonValue* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const util::JsonValue* compute = metrics->find("compute_seconds");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->number_or("max", 0), 39.0);
+  EXPECT_GT(compute->number_or("p90", 0), compute->number_or("p50", -1.0));
 }
 
 // ---- Trace well-formedness ----------------------------------------------

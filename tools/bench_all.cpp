@@ -1,0 +1,86 @@
+// bench_all — one driver for the perf-trajectory artifacts.
+//
+// Runs the three machine-readable benchmark writers in sequence so a single
+// invocation refreshes every BENCH_*.json in the current directory:
+//
+//   bench_micro_kernels  ->  BENCH_parallel.json (1/2/4-thread sweep)
+//   bench_net            ->  BENCH_net.json      (wire bytes across loss rates)
+//   bench_scale          ->  BENCH_scale.json    (fleet-size scaling)
+//
+//   bench_all [--smoke] [--bin-dir <dir>]
+//
+// --smoke sets HELIOS_BENCH_SCALE=quick (the benches' own reduced scale) so
+// the whole sweep finishes in CI time; the committed baselines under
+// bench/baselines/ are quick-scale for exactly this reason — the gate always
+// compares quick against quick. --bin-dir points at the directory holding
+// the bench binaries (default: ../bench relative to this binary, the build
+// tree layout). Per-phase wall times are reported per bench on stdout; exit
+// is non-zero as soon as any bench fails.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string bin_dir = dirname_of(argv[0]) + "/../bench";
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--smoke") {
+      smoke = true;
+    } else if (args[i] == "--bin-dir" && i + 1 < args.size()) {
+      bin_dir = args[++i];
+    } else {
+      std::cerr << "usage: bench_all [--smoke] [--bin-dir <dir>]\n";
+      return 2;
+    }
+  }
+  if (smoke) setenv("HELIOS_BENCH_SCALE", "quick", /*overwrite=*/1);
+
+  struct Step {
+    const char* label;
+    std::string command;
+  };
+  // The google-benchmark portion of bench_micro_kernels is for interactive
+  // profiling; a filter that matches nothing skips it while the binary
+  // still runs the hand-timed thread sweep that writes BENCH_parallel.json.
+  const std::vector<Step> steps = {
+      {"parallel", bin_dir + "/bench_micro_kernels"
+                             " --benchmark_filter=__none__"},
+      {"net", bin_dir + "/bench_net"},
+      {"scale", bin_dir + "/bench_scale"},
+  };
+
+  double total = 0.0;
+  for (const Step& step : steps) {
+    std::cout << "[bench_all] " << step.label << ": " << step.command << "\n"
+              << std::flush;
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = std::system(step.command.c_str());
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    total += dt.count();
+    std::cout << "[bench_all] " << step.label << " finished in " << dt.count()
+              << " s\n";
+    if (rc != 0) {
+      std::cerr << "[bench_all] " << step.label << " failed (exit " << rc
+                << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "[bench_all] all benches done in " << total
+            << " s; wrote BENCH_parallel.json BENCH_net.json "
+               "BENCH_scale.json\n";
+  return 0;
+}

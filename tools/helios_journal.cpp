@@ -1,0 +1,91 @@
+// helios-journal — the run-journal (flight recorder) CLI.
+//
+//   helios-journal summary <run.journal.jsonl> [--json]
+//       Per-device participation, straggler drift and the loss / retransmit
+//       breakdown, aggregated from the event stream. --json emits the
+//       machine-readable equivalent.
+//
+//   helios-journal diff <a.journal.jsonl> <b.journal.jsonl>
+//       Field-by-field comparison of the two runs' summaries. Exit 1 when
+//       the runs differ, 0 when they agree.
+//
+//   helios-journal replay <run.journal.jsonl> [--threshold N]
+//       Replays the journal into a StragglerDashboard and renders it — the
+//       same per-device / percentile table a live run prints. --threshold
+//       overrides the per-device vs fleet-summary cutover.
+//
+// Journals aggregate per device before summarizing, so recordings of the
+// same run at different thread counts (whose lines interleave differently)
+// summarize and diff as identical.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/journal_reader.h"
+
+namespace {
+
+using namespace helios;
+
+int usage() {
+  std::cerr << "usage: helios-journal summary <run.journal.jsonl> [--json]\n"
+            << "       helios-journal diff <a.jsonl> <b.jsonl>\n"
+            << "       helios-journal replay <run.journal.jsonl>"
+            << " [--threshold N]\n";
+  return 2;
+}
+
+std::vector<obs::JournalEvent> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return obs::read_journal(is);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  try {
+    if (cmd == "summary") {
+      if (args.size() < 2) return usage();
+      const bool json = args.size() > 2 && args[2] == "--json";
+      const obs::JournalSummary s = obs::summarize_journal(load(args[1]));
+      if (json) {
+        obs::write_summary_json(std::cout, s);
+      } else {
+        obs::write_summary(std::cout, s);
+      }
+      return 0;
+    }
+    if (cmd == "diff") {
+      if (args.size() < 3) return usage();
+      const obs::JournalSummary a = obs::summarize_journal(load(args[1]));
+      const obs::JournalSummary b = obs::summarize_journal(load(args[2]));
+      const int differing = obs::write_diff(std::cout, a, b);
+      if (differing == 0) return 0;
+      std::cout << differing << " field(s) differ\n";
+      return 1;
+    }
+    if (cmd == "replay") {
+      if (args.size() < 2) return usage();
+      obs::StragglerDashboard dash;
+      for (std::size_t i = 2; i + 1 < args.size(); ++i) {
+        if (args[i] == "--threshold") {
+          dash.set_summary_threshold(
+              static_cast<std::size_t>(std::atoi(args[i + 1].c_str())));
+        }
+      }
+      obs::replay_dashboard(load(args[1]), dash);
+      dash.render(std::cout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "helios-journal: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
