@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.h"
+#include "tensor/backend/dispatch.h"
 
 namespace helios::fl {
 
@@ -70,7 +71,10 @@ void Fleet::set_telemetry(obs::TelemetrySink* sink) {
   telemetry_ = sink;
   server_.set_telemetry(sink);
   for (auto& c : clients_) c->set_telemetry(sink);
-  if (sink) sink->install();
+  if (sink) {
+    sink->install();
+    sink->record_kernel_backend(tensor::backend::active_backend_name());
+  }
 }
 
 Client* Fleet::find_client(int id) {

@@ -1,5 +1,7 @@
 #include "nn/adam.h"
 
+#include "tensor/backend/dispatch.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -34,23 +36,25 @@ void Adam::step(Model& model) {
       1.0F - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 =
       1.0F - std::pow(beta2_, static_cast<float>(t_));
+  // Dispatched elementwise update (tensor/backend); div/sqrt are correctly
+  // rounded, so every backend is bitwise identical to scalar.
+  const auto& kernels = tensor::backend::active_kernels();
   for (const ParamRef& ref : model.param_refs()) {
-    float* w = ref.param->data();
-    const float* g = ref.grad->data();
-    const std::size_t count = ref.param->numel();
-    const std::uint8_t* fz =
-        frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
-    float* m = m_.data() + ref.flat_offset;
-    float* v = v_.data() + ref.flat_offset;
-    for (std::size_t i = 0; i < count; ++i) {
-      if (fz && fz[i]) continue;
-      const float grad = g[i] + weight_decay_ * w[i];
-      m[i] = beta1_ * m[i] + (1.0F - beta1_) * grad;
-      v[i] = beta2_ * v[i] + (1.0F - beta2_) * grad * grad;
-      const float mhat = m[i] / bc1;
-      const float vhat = v[i] / bc2;
-      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    tensor::backend::AdamArgs args;
+    args.w = ref.param->data();
+    args.g = ref.grad->data();
+    args.m = m_.data() + ref.flat_offset;
+    args.v = v_.data() + ref.flat_offset;
+    args.frozen = frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
+    args.count = ref.param->numel();
+    args.lr = lr_;
+    args.beta1 = beta1_;
+    args.beta2 = beta2_;
+    args.eps = eps_;
+    args.weight_decay = weight_decay_;
+    args.bc1 = bc1;
+    args.bc2 = bc2;
+    kernels.adam_update(args);
   }
 }
 

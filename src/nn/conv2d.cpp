@@ -92,16 +92,7 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   };
   const std::int64_t per_sample = static_cast<std::int64_t>(out_channels_) *
                                   geometry_.patch_size() * plane;
-  if (n > 1 && per_sample * n >= tensor::kIntraOpMinWork) {
-    util::parallel_for(
-        0, n,
-        std::max<std::int64_t>(
-            1, tensor::kIntraOpChunkWork /
-                   std::max<std::int64_t>(1, per_sample)),
-        run_samples);
-  } else {
-    run_samples(0, n);
-  }
+  tensor::run_chunked(n, per_sample, run_samples);
   return y;
 }
 

@@ -2,6 +2,8 @@
 
 #include "nn/sgd.h"
 
+#include "tensor/backend/dispatch.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -45,22 +47,22 @@ void Sgd::step(Model& model) {
     }
   }
 
+  // The per-element update loop runs through the dispatched kernel table
+  // (tensor/backend): elementwise with no FMA, so every backend is bitwise
+  // identical to the scalar reference (checkasm pins this).
+  const auto& kernels = tensor::backend::active_kernels();
   for (const ParamRef& ref : model.param_refs()) {
-    float* w = ref.param->data();
-    const float* g = ref.grad->data();
-    const std::size_t count = ref.param->numel();
-    const std::uint8_t* fz =
-        frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
-    float* v = use_momentum ? velocity_.data() + ref.flat_offset : nullptr;
-    for (std::size_t i = 0; i < count; ++i) {
-      if (fz && fz[i]) continue;
-      float grad = g[i] * clip_scale + weight_decay_ * w[i];
-      if (use_momentum) {
-        v[i] = momentum_ * v[i] + grad;
-        grad = v[i];
-      }
-      w[i] -= lr_ * grad;
-    }
+    tensor::backend::SgdArgs args;
+    args.w = ref.param->data();
+    args.g = ref.grad->data();
+    args.v = use_momentum ? velocity_.data() + ref.flat_offset : nullptr;
+    args.frozen = frozen.empty() ? nullptr : frozen.data() + ref.flat_offset;
+    args.count = ref.param->numel();
+    args.lr = lr_;
+    args.momentum = momentum_;
+    args.weight_decay = weight_decay_;
+    args.clip_scale = clip_scale;
+    kernels.sgd_update(args);
   }
 }
 

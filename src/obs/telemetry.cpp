@@ -302,6 +302,11 @@ void TelemetrySink::record_device_skipped(int round, int device, bool dead) {
   }
 }
 
+void TelemetrySink::record_kernel_backend(std::string_view name) {
+  metrics_.gauge("helios.kernel.backend", {{"backend", std::string(name)}})
+      .set(1.0);
+}
+
 void TelemetrySink::flush() {
   if (tracer_) tracer_->close();
   if (journal_) journal_->close();

@@ -148,6 +148,12 @@ class TelemetrySink {
   /// deactivated device from an active-but-unsampled (hollow) one.
   void record_device_skipped(int round, int device, bool dead);
 
+  /// Which SIMD kernel backend the tensor layer dispatched to at startup
+  /// ("scalar", "avx2", ...). Exported as the gauge
+  /// `helios.kernel.backend{backend=<name>}` = 1 so dashboards can tell
+  /// runs on different hardware (or HELIOS_KERNEL_BACKEND overrides) apart.
+  void record_kernel_backend(std::string_view name);
+
   // ---- Exports ----
 
   void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }

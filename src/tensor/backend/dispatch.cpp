@@ -1,0 +1,92 @@
+#include "tensor/backend/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/cpuid.h"
+#include "util/log.h"
+
+namespace helios::tensor::backend {
+namespace {
+
+bool compiled_avx2() {
+#if defined(HELIOS_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(Backend id) {
+  switch (id) {
+    case Backend::kScalar:
+      return &scalar_kernels();
+    case Backend::kAvx2:
+#if defined(HELIOS_HAVE_AVX2)
+      if (util::cpu_has_avx2_fma()) return &avx2_kernels();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Env-driven default, computed once. Unknown values warn and fall through
+/// to auto so a typo cannot silently change numerics.
+const KernelTable& env_selected() {
+  const char* env = std::getenv("HELIOS_KERNEL_BACKEND");
+  const std::string want = env ? env : "auto";
+  if (want == "scalar") return scalar_kernels();
+  if (want == "avx2") {
+    if (const KernelTable* t = table_for(Backend::kAvx2)) return *t;
+    util::log_warn("HELIOS_KERNEL_BACKEND=avx2 requested but unavailable (",
+                   util::cpu_feature_string(), "); using scalar");
+    return scalar_kernels();
+  }
+  if (want != "auto") {
+    util::log_warn("HELIOS_KERNEL_BACKEND='", want,
+                   "' not recognized; using auto");
+  }
+  if (const KernelTable* t = table_for(Backend::kAvx2)) return *t;
+  return scalar_kernels();
+}
+
+/// nullptr = no programmatic override; selection falls back to env/auto.
+std::atomic<const KernelTable*> g_override{nullptr};
+
+}  // namespace
+
+const KernelTable& active_kernels() {
+  if (const KernelTable* t = g_override.load(std::memory_order_acquire)) {
+    return *t;
+  }
+  static const KernelTable& env_table = env_selected();
+  return env_table;
+}
+
+std::string active_backend_name() { return active_kernels().name; }
+
+std::vector<const KernelTable*> available_tables() {
+  std::vector<const KernelTable*> out{&scalar_kernels()};
+  if (const KernelTable* t = table_for(Backend::kAvx2)) out.push_back(t);
+  return out;
+}
+
+void set_kernel_backend(Backend id) {
+  const KernelTable* t = table_for(id);
+  if (t == nullptr) {
+    throw std::invalid_argument(
+        std::string("set_kernel_backend: backend unavailable (compiled ") +
+        (compiled_avx2() ? "with" : "without") + " avx2; cpu " +
+        util::cpu_feature_string() + ")");
+  }
+  g_override.store(t, std::memory_order_release);
+}
+
+void clear_kernel_backend_override() {
+  g_override.store(nullptr, std::memory_order_release);
+}
+
+bool avx2_available() { return table_for(Backend::kAvx2) != nullptr; }
+
+}  // namespace helios::tensor::backend

@@ -1,0 +1,44 @@
+// Runtime backend selection for the tensor kernel table.
+//
+// Selection order (resolved once, on first use):
+//   1. HELIOS_KERNEL_BACKEND=scalar|avx2|auto — the env override. `scalar`
+//      forces the portable reference (bit-exact with the pre-dispatch
+//      code); `avx2` forces the vector table and falls back to scalar with
+//      a warning when the CPU or build lacks it; `auto` (default) picks the
+//      fastest table the running CPU supports (util::cpuid).
+//   2. set_kernel_backend() — programmatic override for tests/checkasm;
+//      wins over the environment. Not thread-safe against in-flight
+//      kernels: call only between runs, like util::set_global_threads.
+//
+// available_tables() enumerates every table compiled into this binary —
+// checkasm iterates it so a new backend is covered the moment it registers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/backend/kernels.h"
+
+namespace helios::tensor::backend {
+
+/// The table every tensor/ops.cpp and nn optimizer call dispatches through.
+const KernelTable& active_kernels();
+
+/// Name of the active table ("scalar", "avx2") for logs / metrics.
+std::string active_backend_name();
+
+/// All tables usable on this machine (scalar first, then vector tables the
+/// CPU supports).
+std::vector<const KernelTable*> available_tables();
+
+/// Forces a specific table (test hook). Throws std::invalid_argument when
+/// that backend is not available on this machine/build.
+void set_kernel_backend(Backend id);
+
+/// Clears the programmatic override back to env/auto selection.
+void clear_kernel_backend_override();
+
+/// True when the AVX2 table is compiled in and the CPU supports it.
+bool avx2_available();
+
+}  // namespace helios::tensor::backend

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
-#include "util/thread_pool.h"
+#include "tensor/backend/dispatch.h"
 
 namespace helios::tensor {
 namespace {
@@ -25,24 +26,41 @@ void require_2d(const Tensor& t, const char* what) {
   }
 }
 
-bool row_active(RowMask mask, int row) {
-  return mask.empty() || mask[static_cast<std::size_t>(row)] != 0;
+/// Packs the indices of non-zero mask bytes, for backends that stream
+/// index lists (KernelTable::use_index_lists) instead of branch-testing
+/// the mask in inner loops. Built once per call, shared read-only by every
+/// parallel chunk.
+std::vector<std::int32_t> pack_active(RowMask mask) {
+  std::vector<std::int32_t> out;
+  out.reserve(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) out.push_back(static_cast<std::int32_t>(i));
+  }
+  return out;
 }
 
-/// True when a kernel of `work` MACs should fan out: big enough, more than
-/// one thread configured, and not already inside a parallel region (nested
-/// regions run inline anyway — skipping the dispatch keeps the sequential
-/// loop structure, which matters for the kernels that use a transposed
-/// traversal in their parallel variant).
-bool parallel_worthwhile(std::int64_t work) {
-  return work >= kIntraOpMinWork && util::global_thread_count() > 1 &&
-         !util::detail::in_parallel_region();
-}
-
-/// Rows per chunk so each chunk carries ~kIntraOpChunkWork MACs.
-std::int64_t chunk_grain(std::int64_t per_row_work) {
-  return std::max<std::int64_t>(
-      1, kIntraOpChunkWork / std::max<std::int64_t>(1, per_row_work));
+/// Fills the shared operand block for a matmul wrapper; `inner_mask` says
+/// whether the mask gates a non-partitioned loop dimension (only then does
+/// a list-streaming backend want the packed indices).
+backend::MatmulArgs matmul_args(const Tensor& a, const Tensor& b, Tensor& c,
+                                int m, int k, int n, RowMask mask,
+                                std::vector<std::int32_t>& active_scratch,
+                                bool inner_mask) {
+  backend::MatmulArgs args;
+  args.a = a.data();
+  args.b = b.data();
+  args.c = c.data();
+  args.m = m;
+  args.k = k;
+  args.n = n;
+  args.mask = mask.empty() ? nullptr : mask.data();
+  if (inner_mask && !mask.empty() &&
+      backend::active_kernels().use_index_lists) {
+    active_scratch = pack_active(mask);
+    args.active = active_scratch.data();
+    args.n_active = static_cast<std::int32_t>(active_scratch.size());
+  }
+  return args;
 }
 
 }  // namespace
@@ -126,6 +144,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+// The six masked matmul wrappers below share one structure: validate
+// shapes, zero/shape the output, build the operand block (plus the packed
+// active-index list when the selected backend streams one), then run the
+// dispatched kernel over the variant's partition dimension through
+// run_chunked — the shared work-estimate + chunking decision. Each backend
+// kernel keeps a fixed per-output-element accumulation order, so results
+// are bit-identical at any thread count within a backend.
+
 void matmul_masked_rows_into(const Tensor& a, const Tensor& b, RowMask mask,
                              Tensor& c) {
   require_2d(a, "matmul lhs");
@@ -142,46 +168,14 @@ void matmul_masked_rows_into(const Tensor& a, const Tensor& b, RowMask mask,
   if (c.shape() != Shape{m, n}) c = Tensor({m, n});
   else c.fill(0.0F);
 
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // i-k-j loop order: the inner j loop streams contiguous rows of B and C,
-  // which the compiler vectorizes. Parallel split is over rows of C, so the
-  // per-element accumulation order never changes.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    if (mask.empty()) {
-      // Unmasked fast path: no row gating and no zero-skip branch (the
-      // skip only pays off for soft-training's masked rows; on dense
-      // inputs it defeats vectorization).
-      for (std::int64_t i = lo; i < hi; ++i) {
-        const float* arow = ap + static_cast<std::size_t>(i) * k;
-        float* crow = cp + static_cast<std::size_t>(i) * n;
-        for (int kk = 0; kk < k; ++kk) {
-          const float aik = arow[kk];
-          const float* brow = bp + static_cast<std::size_t>(kk) * n;
-          for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      }
-      return;
-    }
-    for (std::int64_t i = lo; i < hi; ++i) {
-      if (!row_active(mask, static_cast<int>(i))) continue;
-      const float* arow = ap + static_cast<std::size_t>(i) * k;
-      float* crow = cp + static_cast<std::size_t>(i) * n;
-      for (int kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0F) continue;
-        const float* brow = bp + static_cast<std::size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  };
-  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
-  if (parallel_worthwhile(row_work * m)) {
-    util::parallel_for(0, m, chunk_grain(row_work), rows);
-  } else {
-    rows(0, m);
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/false);
+  run_chunked(m, static_cast<std::int64_t>(k) * n,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_rows(args, lo, hi);
+              });
 }
 
 void matmul_tn_masked_accumulate(const Tensor& a, const Tensor& b,
@@ -193,70 +187,14 @@ void matmul_tn_masked_accumulate(const Tensor& a, const Tensor& b,
   if (c.shape() != Shape{k, n}) {
     throw std::invalid_argument("matmul_tn: output must be pre-shaped [k,n]");
   }
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  const std::int64_t work =
-      static_cast<std::int64_t>(m) * k * n;
-  if (parallel_worthwhile(work)) {
-    // kk-outer variant: each output row of C is owned by exactly one chunk
-    // and its i loop runs ascending, the same per-element accumulation
-    // order as the sequential path below — bit-identical results.
-    auto out_rows = [&](std::int64_t lo, std::int64_t hi) {
-      if (mask.empty()) {
-        for (std::int64_t kk = lo; kk < hi; ++kk) {
-          float* crow = cp + static_cast<std::size_t>(kk) * n;
-          for (int i = 0; i < m; ++i) {
-            const float aik = ap[static_cast<std::size_t>(i) * k +
-                                 static_cast<std::size_t>(kk)];
-            const float* brow = bp + static_cast<std::size_t>(i) * n;
-            for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-          }
-        }
-        return;
-      }
-      for (std::int64_t kk = lo; kk < hi; ++kk) {
-        float* crow = cp + static_cast<std::size_t>(kk) * n;
-        for (int i = 0; i < m; ++i) {
-          if (!row_active(mask, i)) continue;
-          const float aik = ap[static_cast<std::size_t>(i) * k +
-                               static_cast<std::size_t>(kk)];
-          if (aik == 0.0F) continue;
-          const float* brow = bp + static_cast<std::size_t>(i) * n;
-          for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    };
-    util::parallel_for(0, k,
-                       chunk_grain(static_cast<std::int64_t>(m) * n),
-                       out_rows);
-    return;
-  }
-  if (mask.empty()) {
-    // Unmasked fast path: row gating and the zero-skip branch hoisted out
-    // (the skip only pays for masked soft-training rows).
-    for (int i = 0; i < m; ++i) {
-      const float* arow = ap + static_cast<std::size_t>(i) * k;
-      const float* brow = bp + static_cast<std::size_t>(i) * n;
-      for (int kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        float* crow = cp + static_cast<std::size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-    return;
-  }
-  for (int i = 0; i < m; ++i) {
-    if (!row_active(mask, i)) continue;
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    const float* brow = bp + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0F) continue;
-      float* crow = cp + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/true);
+  run_chunked(k, static_cast<std::int64_t>(m) * n,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_tn_acc(args, lo, hi);
+              });
 }
 
 void matmul_nt_masked_cols_into(const Tensor& a, const Tensor& b, RowMask mask,
@@ -270,38 +208,14 @@ void matmul_nt_masked_cols_into(const Tensor& a, const Tensor& b, RowMask mask,
   }
   if (c.shape() != Shape{m, n}) c = Tensor({m, n});
   else c.fill(0.0F);
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // Rows of C are independent — parallel split over i.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* arow = ap + static_cast<std::size_t>(i) * k;
-      float* crow = cp + static_cast<std::size_t>(i) * n;
-      if (mask.empty()) {
-        for (int j = 0; j < n; ++j) {
-          const float* brow = bp + static_cast<std::size_t>(j) * k;
-          float acc = 0.0F;
-          for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] = acc;
-        }
-        continue;
-      }
-      for (int j = 0; j < n; ++j) {
-        if (!row_active(mask, j)) continue;  // output unit j skipped
-        const float* brow = bp + static_cast<std::size_t>(j) * k;
-        float acc = 0.0F;
-        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
-      }
-    }
-  };
-  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
-  if (parallel_worthwhile(row_work * m)) {
-    util::parallel_for(0, m, chunk_grain(row_work), rows);
-  } else {
-    rows(0, m);
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/true);
+  run_chunked(m, static_cast<std::int64_t>(k) * n,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_nt_cols(args, lo, hi);
+              });
 }
 
 void matmul_nn_masked_inner_accumulate(const Tensor& a, const Tensor& b,
@@ -316,29 +230,14 @@ void matmul_nn_masked_inner_accumulate(const Tensor& a, const Tensor& b,
   if (!mask.empty() && static_cast<int>(mask.size()) != n) {
     throw std::invalid_argument("matmul_nn: inner mask size mismatch");
   }
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // Rows of C are independent — parallel split over i.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* arow = ap + static_cast<std::size_t>(i) * n;
-      float* crow = cp + static_cast<std::size_t>(i) * k;
-      for (int j = 0; j < n; ++j) {
-        if (!row_active(mask, j)) continue;
-        const float aij = arow[j];
-        if (aij == 0.0F) continue;
-        const float* brow = bp + static_cast<std::size_t>(j) * k;
-        for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
-      }
-    }
-  };
-  const std::int64_t row_work = static_cast<std::int64_t>(n) * k;
-  if (parallel_worthwhile(row_work * m)) {
-    util::parallel_for(0, m, chunk_grain(row_work), rows);
-  } else {
-    rows(0, m);
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/true);
+  run_chunked(m, static_cast<std::int64_t>(n) * k,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_nn_inner_acc(args, lo, hi);
+              });
 }
 
 void matmul_tn_masked_out_rows_into(const Tensor& a, const Tensor& b,
@@ -352,43 +251,14 @@ void matmul_tn_masked_out_rows_into(const Tensor& a, const Tensor& b,
   if (!mask.empty() && static_cast<int>(mask.size()) != n) {
     throw std::invalid_argument("matmul_tn_out: row mask size mismatch");
   }
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // c[j, :] = sum_i a[i, j] * b[i, :] — skip inactive output rows j.
-  const std::int64_t work = static_cast<std::int64_t>(m) * n * k;
-  if (parallel_worthwhile(work)) {
-    // j-outer variant: each output row owned by one chunk, i ascending as
-    // in the sequential path — bit-identical accumulation order.
-    auto out_rows = [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t j = lo; j < hi; ++j) {
-        if (!row_active(mask, static_cast<int>(j))) continue;
-        float* crow = cp + static_cast<std::size_t>(j) * k;
-        for (int i = 0; i < m; ++i) {
-          const float aij = ap[static_cast<std::size_t>(i) * n +
-                               static_cast<std::size_t>(j)];
-          if (aij == 0.0F) continue;
-          const float* brow = bp + static_cast<std::size_t>(i) * k;
-          for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
-        }
-      }
-    };
-    util::parallel_for(0, n,
-                       chunk_grain(static_cast<std::int64_t>(m) * k),
-                       out_rows);
-    return;
-  }
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * n;
-    const float* brow = bp + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      if (!row_active(mask, j)) continue;
-      const float aij = arow[j];
-      if (aij == 0.0F) continue;
-      float* crow = cp + static_cast<std::size_t>(j) * k;
-      for (int kk = 0; kk < k; ++kk) crow[kk] += aij * brow[kk];
-    }
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/false);
+  run_chunked(n, static_cast<std::int64_t>(m) * k,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_tn_out_rows(args, lo, hi);
+              });
 }
 
 void matmul_nt_masked_rows_accumulate(const Tensor& a, const Tensor& b,
@@ -405,29 +275,14 @@ void matmul_nt_masked_rows_accumulate(const Tensor& a, const Tensor& b,
   if (!mask.empty() && static_cast<int>(mask.size()) != m) {
     throw std::invalid_argument("matmul_nt_rows: row mask size mismatch");
   }
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // Rows of C (conv filters) are independent — parallel split over i.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      if (!row_active(mask, static_cast<int>(i))) continue;
-      const float* arow = ap + static_cast<std::size_t>(i) * k;
-      float* crow = cp + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = bp + static_cast<std::size_t>(j) * k;
-        float acc = 0.0F;
-        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += acc;
-      }
-    }
-  };
-  const std::int64_t row_work = static_cast<std::int64_t>(k) * n;
-  if (parallel_worthwhile(row_work * m)) {
-    util::parallel_for(0, m, chunk_grain(row_work), rows);
-  } else {
-    rows(0, m);
-  }
+  const backend::KernelTable& kt = backend::active_kernels();
+  std::vector<std::int32_t> scratch;
+  const backend::MatmulArgs args =
+      matmul_args(a, b, c, m, k, n, mask, scratch, /*inner_mask=*/false);
+  run_chunked(m, static_cast<std::int64_t>(k) * n,
+              [&](std::int64_t lo, std::int64_t hi) {
+                kt.matmul_nt_rows_acc(args, lo, hi);
+              });
 }
 
 void im2col(const Tensor& x, const Conv2dGeometry& g, Tensor& cols) {

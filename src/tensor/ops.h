@@ -8,10 +8,12 @@
 // model uses.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace helios::tensor {
 
@@ -26,6 +28,31 @@ using RowMask = std::span<const std::uint8_t>;
 // the sequential loops at any thread count.
 inline constexpr std::int64_t kIntraOpMinWork = std::int64_t{1} << 20;
 inline constexpr std::int64_t kIntraOpChunkWork = std::int64_t{1} << 18;
+
+/// The one intra-op work-estimate + chunking decision, shared by every
+/// matmul wrapper, conv2d's batch split, and — because the wrappers call
+/// the dispatched backend kernel per chunk — inherited unchanged by every
+/// kernel backend. Runs `chunk(lo, hi)` over contiguous sub-ranges covering
+/// [0, extent) exactly once: through the thread pool when the total
+/// multiply-accumulate count `extent * per_item_work` crosses
+/// kIntraOpMinWork (chunks sized to carry ~kIntraOpChunkWork each), inline
+/// as chunk(0, extent) otherwise — including from inside an enclosing
+/// parallel region, where the full-range call keeps the sequential loop
+/// structure of kernels with a transposed parallel traversal.
+template <typename Chunk>
+void run_chunked(std::int64_t extent, std::int64_t per_item_work,
+                 Chunk&& chunk) {
+  per_item_work = std::max<std::int64_t>(1, per_item_work);
+  if (extent * per_item_work >= kIntraOpMinWork &&
+      util::global_thread_count() > 1 &&
+      !util::detail::in_parallel_region()) {
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kIntraOpChunkWork / per_item_work);
+    util::parallel_for(0, extent, grain, chunk);
+  } else if (extent > 0) {
+    chunk(0, extent);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Elementwise

@@ -30,7 +30,7 @@ Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   if (data_.size() != shape_numel(shape_)) {
     throw std::invalid_argument("Tensor: values size " +
                                 std::to_string(data_.size()) +

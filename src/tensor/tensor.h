@@ -8,7 +8,7 @@
 
 #include <cassert>
 #include <cstddef>
-#include <initializer_list>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,6 +16,47 @@
 #include "util/rng.h"
 
 namespace helios::tensor {
+
+/// Minimal allocator handing out `Alignment`-byte-aligned storage, so the
+/// SIMD kernel backends can rely on cacheline-aligned tensor rows (vector
+/// loads use unaligned instructions, which run at aligned speed when the
+/// data actually is — this guarantees it for element 0 of every tensor).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0 && Alignment >= alignof(T),
+                "Alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  // Explicit rebind: the default allocator_traits rebind cannot re-instantiate
+  // a template with a non-type (Alignment) parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Alignment of Tensor storage (one x86 cacheline / an AVX-512 register).
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Backing store of Tensor: contiguous floats, 64-byte-aligned base.
+using FloatBuffer = std::vector<float, AlignedAllocator<float, kTensorAlignment>>;
 
 /// Shape of a tensor; dimensions are non-negative (0 allowed for empties).
 using Shape = std::vector<int>;
@@ -35,7 +76,8 @@ class Tensor {
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
 
-  /// Tensor wrapping a copy of `values`; size must match the shape.
+  /// Tensor holding a copy of `values` (re-laid into aligned storage);
+  /// size must match the shape.
   Tensor(Shape shape, std::vector<float> values);
 
   static Tensor zeros(Shape shape);
@@ -84,7 +126,7 @@ class Tensor {
   std::size_t offset4(int i, int j, int k, int l) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 }  // namespace helios::tensor

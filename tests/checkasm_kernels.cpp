@@ -1,0 +1,894 @@
+// checkasm_kernels — checkasm/FATE-style verification + bench harness for
+// the runtime-dispatched kernel backends (src/tensor/backend).
+//
+//   checkasm_kernels                  verify every kernel on every available
+//                                     backend against the scalar reference
+//   checkasm_kernels <kernel>...      verify selected kernels (ctest has one
+//                                     target per kernel: checkasm.<kernel>)
+//   checkasm_kernels --list           print the kernel names
+//   checkasm_kernels --bench [--out <file>]
+//                                     cycles/call + GFLOP/s per kernel and
+//                                     backend at three shape classes; writes
+//                                     BENCH_kernels.json for the perf gate
+//
+// Verification contract (tensor/backend/kernels.h):
+//   * outputs with no active contribution (masked-out rows/cols, frozen
+//     optimizer lanes) are bitwise identical to the scalar reference,
+//   * the optimizer kernels are bitwise identical everywhere,
+//   * FMA matmul outputs obey |diff| <= kFmaUlpTol * eps * sum|a.b| + eps,
+//   * within one backend, any chunking of the partition range is bitwise
+//     identical to the full-range call (the thread-count determinism
+//     contract) — exercised here with randomized split points.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "tensor/backend/dispatch.h"
+#include "tensor/backend/kernels.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define HELIOS_CHECKASM_RDTSC 1
+#endif
+
+namespace {
+
+using helios::tensor::Tensor;
+using helios::tensor::backend::AdamArgs;
+using helios::tensor::backend::AdamKernelFn;
+using helios::tensor::backend::available_tables;
+using helios::tensor::backend::Backend;
+using helios::tensor::backend::KernelTable;
+using helios::tensor::backend::kFmaUlpTol;
+using helios::tensor::backend::MatmulArgs;
+using helios::tensor::backend::MatmulKernelFn;
+using helios::tensor::backend::scalar_kernels;
+using helios::tensor::backend::SgdArgs;
+using helios::tensor::backend::SgdKernelFn;
+using helios::util::Rng;
+
+constexpr double kEps = static_cast<double>(std::numeric_limits<float>::epsilon());
+
+int g_checks = 0;
+std::vector<std::string> g_failures;
+
+void record(bool ok, const std::string& what) {
+  ++g_checks;
+  if (!ok && g_failures.size() < 32) g_failures.push_back(what);
+  if (!ok && g_failures.size() == 32) g_failures.push_back("... (truncated)");
+}
+
+bool bits_equal(float x, float y) {
+  std::uint32_t bx = 0;
+  std::uint32_t by = 0;
+  std::memcpy(&bx, &x, sizeof(bx));
+  std::memcpy(&by, &y, sizeof(by));
+  return bx == by;
+}
+
+bool row_on(const std::uint8_t* mask, std::int64_t r) {
+  return mask == nullptr || mask[r] != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Masked matmul variants
+// ---------------------------------------------------------------------------
+
+// Per-output-element sum of |a * b| over the contraction, honouring the
+// mask: the weight in the documented FMA tolerance, and — when zero — the
+// marker that the element had no active contribution and must be bitwise
+// untouched.
+using AbsSumFn = void (*)(const MatmulArgs&, std::vector<double>&);
+
+struct MatmulVariant {
+  const char* name;
+  MatmulKernelFn KernelTable::*entry;
+  bool mask_over_m;  // mask length m (else n)
+  bool inner_mask;   // the ops.cpp wrapper precomputes the index list
+  bool accumulate;   // C += (random init) vs C = (zero init)
+  std::size_t (*a_elems)(int m, int k, int n);
+  std::size_t (*b_elems)(int m, int k, int n);
+  std::size_t (*c_elems)(int m, int k, int n);
+  std::int64_t (*extent)(int m, int k, int n);
+  AbsSumFn abs_sums;
+};
+
+void abs_rows(const MatmulArgs& t, std::vector<double>& s) {
+  for (int i = 0; i < t.m; ++i) {
+    if (!row_on(t.mask, i)) continue;
+    for (int kk = 0; kk < t.k; ++kk) {
+      const double av = std::fabs(t.a[static_cast<std::size_t>(i) * t.k + kk]);
+      for (int j = 0; j < t.n; ++j) {
+        s[static_cast<std::size_t>(i) * t.n + j] +=
+            av * std::fabs(t.b[static_cast<std::size_t>(kk) * t.n + j]);
+      }
+    }
+  }
+}
+
+void abs_tn_acc(const MatmulArgs& t, std::vector<double>& s) {
+  for (int i = 0; i < t.m; ++i) {
+    if (!row_on(t.mask, i)) continue;
+    for (int kk = 0; kk < t.k; ++kk) {
+      const double av = std::fabs(t.a[static_cast<std::size_t>(i) * t.k + kk]);
+      for (int j = 0; j < t.n; ++j) {
+        s[static_cast<std::size_t>(kk) * t.n + j] +=
+            av * std::fabs(t.b[static_cast<std::size_t>(i) * t.n + j]);
+      }
+    }
+  }
+}
+
+void abs_nt_cols(const MatmulArgs& t, std::vector<double>& s) {
+  for (int i = 0; i < t.m; ++i) {
+    for (int j = 0; j < t.n; ++j) {
+      if (!row_on(t.mask, j)) continue;
+      double acc = 0.0;
+      for (int kk = 0; kk < t.k; ++kk) {
+        acc += std::fabs(t.a[static_cast<std::size_t>(i) * t.k + kk]) *
+               std::fabs(t.b[static_cast<std::size_t>(j) * t.k + kk]);
+      }
+      s[static_cast<std::size_t>(i) * t.n + j] = acc;
+    }
+  }
+}
+
+void abs_nn_inner(const MatmulArgs& t, std::vector<double>& s) {
+  for (int i = 0; i < t.m; ++i) {
+    for (int j = 0; j < t.n; ++j) {
+      if (!row_on(t.mask, j)) continue;
+      const double av = std::fabs(t.a[static_cast<std::size_t>(i) * t.n + j]);
+      for (int kk = 0; kk < t.k; ++kk) {
+        s[static_cast<std::size_t>(i) * t.k + kk] +=
+            av * std::fabs(t.b[static_cast<std::size_t>(j) * t.k + kk]);
+      }
+    }
+  }
+}
+
+void abs_tn_out(const MatmulArgs& t, std::vector<double>& s) {
+  for (int j = 0; j < t.n; ++j) {
+    if (!row_on(t.mask, j)) continue;
+    for (int i = 0; i < t.m; ++i) {
+      const double av = std::fabs(t.a[static_cast<std::size_t>(i) * t.n + j]);
+      for (int kk = 0; kk < t.k; ++kk) {
+        s[static_cast<std::size_t>(j) * t.k + kk] +=
+            av * std::fabs(t.b[static_cast<std::size_t>(i) * t.k + kk]);
+      }
+    }
+  }
+}
+
+void abs_nt_rows(const MatmulArgs& t, std::vector<double>& s) {
+  for (int i = 0; i < t.m; ++i) {
+    if (!row_on(t.mask, i)) continue;
+    for (int j = 0; j < t.n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < t.k; ++kk) {
+        acc += std::fabs(t.a[static_cast<std::size_t>(i) * t.k + kk]) *
+               std::fabs(t.b[static_cast<std::size_t>(j) * t.k + kk]);
+      }
+      s[static_cast<std::size_t>(i) * t.n + j] = acc;
+    }
+  }
+}
+
+std::size_t mk(int m, int k, int) { return static_cast<std::size_t>(m) * k; }
+std::size_t kn(int, int k, int n) { return static_cast<std::size_t>(k) * n; }
+std::size_t mn(int m, int, int n) { return static_cast<std::size_t>(m) * n; }
+std::size_t nk(int, int k, int n) { return static_cast<std::size_t>(n) * k; }
+std::int64_t ext_m(int m, int, int) { return m; }
+std::int64_t ext_k(int, int k, int) { return k; }
+std::int64_t ext_n(int, int, int n) { return n; }
+
+const MatmulVariant kMatmulVariants[] = {
+    {"matmul_masked_rows", &KernelTable::matmul_rows,
+     /*mask_over_m=*/true, /*inner_mask=*/false, /*accumulate=*/false,
+     mk, kn, mn, ext_m, abs_rows},
+    {"matmul_tn_acc", &KernelTable::matmul_tn_acc,
+     /*mask_over_m=*/true, /*inner_mask=*/true, /*accumulate=*/true,
+     mk, mn, kn, ext_k, abs_tn_acc},
+    {"matmul_nt_cols", &KernelTable::matmul_nt_cols,
+     /*mask_over_m=*/false, /*inner_mask=*/true, /*accumulate=*/false,
+     mk, nk, mn, ext_m, abs_nt_cols},
+    {"matmul_nn_inner_acc", &KernelTable::matmul_nn_inner_acc,
+     /*mask_over_m=*/false, /*inner_mask=*/true, /*accumulate=*/true,
+     mn, nk, mk, ext_m, abs_nn_inner},
+    {"matmul_tn_out_rows", &KernelTable::matmul_tn_out_rows,
+     /*mask_over_m=*/false, /*inner_mask=*/false, /*accumulate=*/false,
+     mn, mk, nk, ext_n, abs_tn_out},
+    {"matmul_nt_rows_acc", &KernelTable::matmul_nt_rows_acc,
+     /*mask_over_m=*/true, /*inner_mask=*/false, /*accumulate=*/true,
+     mk, nk, mn, ext_m, abs_nt_rows},
+};
+
+enum class MaskKind { kNone, kOnes, kZeros, kSingle, kHalf };
+const MaskKind kMaskKinds[] = {MaskKind::kNone, MaskKind::kOnes,
+                               MaskKind::kZeros, MaskKind::kSingle,
+                               MaskKind::kHalf};
+
+const char* mask_name(MaskKind kind) {
+  switch (kind) {
+    case MaskKind::kNone: return "none";
+    case MaskKind::kOnes: return "ones";
+    case MaskKind::kZeros: return "zeros";
+    case MaskKind::kSingle: return "single";
+    case MaskKind::kHalf: return "half";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> make_mask(MaskKind kind, int len, Rng& rng) {
+  std::vector<std::uint8_t> mask;
+  if (kind == MaskKind::kNone) return mask;
+  mask.assign(static_cast<std::size_t>(len), 0);
+  switch (kind) {
+    case MaskKind::kOnes:
+      std::fill(mask.begin(), mask.end(), std::uint8_t{1});
+      break;
+    case MaskKind::kSingle:
+      if (len > 0) mask[rng.uniform_int(static_cast<std::size_t>(len))] = 1;
+      break;
+    case MaskKind::kHalf:
+      for (auto& v : mask) v = rng.uniform(0.0F, 1.0F) < 0.5F ? 1 : 0;
+      break;
+    default:
+      break;
+  }
+  return mask;
+}
+
+std::vector<std::int32_t> pack_active(const std::vector<std::uint8_t>& mask) {
+  std::vector<std::int32_t> active;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) active.push_back(static_cast<std::int32_t>(i));
+  }
+  return active;
+}
+
+void fill_uniform(std::vector<float>& v, Rng& rng, float lo = -1.0F,
+                  float hi = 1.0F) {
+  for (float& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+// Random partition of [0, extent) into 1..4 contiguous chunks.
+std::vector<std::int64_t> random_splits(std::int64_t extent, Rng& rng) {
+  std::vector<std::int64_t> pts = {0, extent};
+  const int cuts = static_cast<int>(rng.uniform_int(4));
+  for (int s = 0; s < cuts; ++s) {
+    pts.push_back(static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::size_t>(extent) + 1)));
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+struct Shape3 {
+  int m, k, n;
+};
+const Shape3 kVerifyShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {2, 3, 4},    {7, 5, 3},
+    {8, 8, 8},   {16, 16, 16}, {17, 31, 13}, {5, 1, 9},
+    {24, 150, 33}, {32, 64, 96}, {64, 63, 65}, {96, 37, 49},
+};
+
+void verify_matmul(const MatmulVariant& v) {
+  std::uint64_t seed = 0x5EED;
+  for (const Shape3& sh : kVerifyShapes) {
+    for (MaskKind kind : kMaskKinds) {
+      Rng rng(seed++);
+      const int m = sh.m, k = sh.k, n = sh.n;
+      std::vector<float> a(v.a_elems(m, k, n));
+      std::vector<float> b(v.b_elems(m, k, n));
+      std::vector<float> c_init(v.c_elems(m, k, n), 0.0F);
+      fill_uniform(a, rng);
+      fill_uniform(b, rng);
+      if (v.accumulate) fill_uniform(c_init, rng);
+      const int mask_len = v.mask_over_m ? m : n;
+      const std::vector<std::uint8_t> mask = make_mask(kind, mask_len, rng);
+      const std::vector<std::int32_t> active = pack_active(mask);
+
+      MatmulArgs base;
+      base.a = a.data();
+      base.b = b.data();
+      base.m = m;
+      base.k = k;
+      base.n = n;
+      base.mask = mask.empty() ? nullptr : mask.data();
+      const std::int64_t extent = v.extent(m, k, n);
+
+      // Scalar full-range reference.
+      std::vector<float> c_ref = c_init;
+      MatmulArgs ref_args = base;
+      ref_args.c = c_ref.data();
+      (scalar_kernels().*(v.entry))(ref_args, 0, extent);
+
+      std::vector<double> sums(c_ref.size(), 0.0);
+      v.abs_sums(ref_args, sums);
+
+      for (const KernelTable* table : available_tables()) {
+        MatmulArgs args = base;
+        if (table->use_index_lists && v.inner_mask && !mask.empty()) {
+          args.active = active.data();
+          args.n_active = static_cast<std::int32_t>(active.size());
+        }
+        std::ostringstream ctx;
+        ctx << v.name << " [" << table->name << "] m=" << m << " k=" << k
+            << " n=" << n << " mask=" << mask_name(kind);
+
+        std::vector<float> c_full = c_init;
+        args.c = c_full.data();
+        (table->*(v.entry))(args, 0, extent);
+
+        bool ok = true;
+        for (std::size_t e = 0; e < c_full.size() && ok; ++e) {
+          if (sums[e] == 0.0) {
+            // No active contribution: the element must be untouched.
+            if (!bits_equal(c_full[e], c_ref[e])) {
+              std::ostringstream os;
+              os << ctx.str() << ": masked-out elem " << e << " changed: "
+                 << c_ref[e] << " -> " << c_full[e];
+              record(false, os.str());
+              ok = false;
+            }
+          } else {
+            const double diff = std::fabs(static_cast<double>(c_full[e]) -
+                                          static_cast<double>(c_ref[e]));
+            const double slack = kFmaUlpTol * kEps * sums[e] + kEps;
+            if (diff > slack) {
+              std::ostringstream os;
+              os << ctx.str() << ": elem " << e << " diff " << diff
+                 << " > slack " << slack << " (ref " << c_ref[e] << ", got "
+                 << c_full[e] << ")";
+              record(false, os.str());
+              ok = false;
+            }
+          }
+        }
+        if (ok) record(true, "");
+
+        // Chunk-split determinism: any partition of the range must
+        // reproduce the full-range call bit-for-bit.
+        std::vector<float> c_chunk = c_init;
+        args.c = c_chunk.data();
+        const std::vector<std::int64_t> pts = random_splits(extent, rng);
+        for (std::size_t p = 0; p + 1 < pts.size(); ++p) {
+          (table->*(v.entry))(args, pts[p], pts[p + 1]);
+        }
+        const bool same = c_chunk.size() == c_full.size() &&
+                          std::memcmp(c_chunk.data(), c_full.data(),
+                                      c_full.size() * sizeof(float)) == 0;
+        std::ostringstream os;
+        os << ctx.str() << ": chunked call differs from full-range call ("
+           << pts.size() - 1 << " chunks)";
+        record(same, os.str());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer kernels (bitwise contract)
+// ---------------------------------------------------------------------------
+
+void verify_sgd() {
+  std::uint64_t seed = 0xC0FFEE;
+  const std::size_t counts[] = {1, 7, 8, 63, 64, 257, 1000};
+  for (std::size_t count : counts) {
+    for (float momentum : {0.0F, 0.9F}) {
+      for (float wd : {0.0F, 0.01F}) {
+        for (float clip : {1.0F, 0.37F}) {
+          for (bool freeze : {false, true}) {
+            Rng rng(seed++);
+            std::vector<float> w0(count), g(count), v0(count);
+            fill_uniform(w0, rng);
+            fill_uniform(g, rng);
+            fill_uniform(v0, rng);
+            std::vector<std::uint8_t> frozen;
+            if (freeze) {
+              frozen.resize(count);
+              for (auto& f : frozen)
+                f = rng.uniform(0.0F, 1.0F) < 0.3F ? 1 : 0;
+            }
+            const bool use_momentum = momentum > 0.0F;
+
+            auto run = [&](const KernelTable& table, std::vector<float>& w,
+                           std::vector<float>& v) {
+              SgdArgs args;
+              args.w = w.data();
+              args.g = g.data();
+              args.v = use_momentum ? v.data() : nullptr;
+              args.frozen = frozen.empty() ? nullptr : frozen.data();
+              args.count = count;
+              args.lr = 0.05F;
+              args.momentum = momentum;
+              args.weight_decay = wd;
+              args.clip_scale = clip;
+              table.sgd_update(args);
+            };
+
+            std::vector<float> w_ref = w0, v_ref = v0;
+            run(scalar_kernels(), w_ref, v_ref);
+            for (const KernelTable* table : available_tables()) {
+              std::vector<float> w = w0, v = v0;
+              run(*table, w, v);
+              std::ostringstream os;
+              os << "sgd_update [" << table->name << "] count=" << count
+                 << " mom=" << momentum << " wd=" << wd << " clip=" << clip
+                 << " frozen=" << freeze << ": not bitwise identical";
+              record(std::memcmp(w.data(), w_ref.data(),
+                                 count * sizeof(float)) == 0 &&
+                         std::memcmp(v.data(), v_ref.data(),
+                                     count * sizeof(float)) == 0,
+                     os.str());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void verify_adam() {
+  std::uint64_t seed = 0xADA;
+  const std::size_t counts[] = {1, 7, 8, 63, 64, 257, 1000};
+  for (std::size_t count : counts) {
+    for (float wd : {0.0F, 0.01F}) {
+      for (bool freeze : {false, true}) {
+        Rng rng(seed++);
+        std::vector<float> w0(count), g(count), m0(count), v0(count);
+        fill_uniform(w0, rng);
+        fill_uniform(g, rng);
+        fill_uniform(m0, rng);
+        fill_uniform(v0, rng, 0.0F, 1.0F);  // second moment stays >= 0
+        std::vector<std::uint8_t> frozen;
+        if (freeze) {
+          frozen.resize(count);
+          for (auto& f : frozen) f = rng.uniform(0.0F, 1.0F) < 0.3F ? 1 : 0;
+        }
+
+        auto run = [&](const KernelTable& table, std::vector<float>& w,
+                       std::vector<float>& m, std::vector<float>& v) {
+          AdamArgs args;
+          args.w = w.data();
+          args.g = g.data();
+          args.m = m.data();
+          args.v = v.data();
+          args.frozen = frozen.empty() ? nullptr : frozen.data();
+          args.count = count;
+          args.lr = 1e-3F;
+          args.beta1 = 0.9F;
+          args.beta2 = 0.999F;
+          args.eps = 1e-8F;
+          args.weight_decay = wd;
+          args.bc1 = 1.0F - std::pow(0.9F, 3.0F);
+          args.bc2 = 1.0F - std::pow(0.999F, 3.0F);
+          table.adam_update(args);
+        };
+
+        std::vector<float> w_ref = w0, m_ref = m0, v_ref = v0;
+        run(scalar_kernels(), w_ref, m_ref, v_ref);
+        for (const KernelTable* table : available_tables()) {
+          std::vector<float> w = w0, m = m0, v = v0;
+          run(*table, w, m, v);
+          std::ostringstream os;
+          os << "adam_update [" << table->name << "] count=" << count
+             << " wd=" << wd << " frozen=" << freeze
+             << ": not bitwise identical";
+          record(std::memcmp(w.data(), w_ref.data(),
+                             count * sizeof(float)) == 0 &&
+                     std::memcmp(m.data(), m_ref.data(),
+                                 count * sizeof(float)) == 0 &&
+                     std::memcmp(v.data(), v_ref.data(),
+                                 count * sizeof(float)) == 0,
+                 os.str());
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d end-to-end (im2col + dispatched matmuls through the nn layer)
+// ---------------------------------------------------------------------------
+
+struct ConvCase {
+  int in_c, in_h, in_w, out_c, kernel, stride, pad;
+};
+const ConvCase kConvCases[] = {
+    {3, 11, 7, 5, 3, 2, 1},   // stride > 1, pad, non-square input
+    {1, 8, 8, 4, 1, 1, 0},    // 1x1 kernel
+    {2, 9, 9, 6, 3, 3, 0},    // kernel == stride (disjoint patches)
+    {4, 6, 10, 8, 5, 1, 2},   // wide pad, non-square
+};
+
+struct ConvOutputs {
+  Tensor y, dx, dw, db;
+};
+
+ConvOutputs run_conv(const ConvCase& cc, Backend id, std::uint64_t seed) {
+  helios::tensor::backend::set_kernel_backend(id);
+  Rng rng(seed);
+  helios::nn::Conv2d layer(cc.in_c, cc.in_h, cc.in_w, cc.out_c, cc.kernel,
+                           cc.stride, cc.pad, rng);
+  // Mask some filters so the masked matmul paths are on the hot path.
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(cc.out_c), 1);
+  for (std::size_t j = 0; j < mask.size(); j += 3) mask[j] = 0;
+  layer.set_mask(mask);
+
+  const int batch = 2;
+  Tensor x = Tensor::randn({batch, cc.in_c, cc.in_h, cc.in_w}, rng);
+  ConvOutputs out;
+  out.y = layer.forward(x, /*training=*/true);
+  Tensor gy = Tensor::randn(out.y.shape(), rng);
+  layer.zero_grad();
+  out.dx = layer.backward(gy);
+  out.dw = *layer.grads()[0];
+  out.db = *layer.grads()[1];
+  helios::tensor::backend::clear_kernel_backend_override();
+  return out;
+}
+
+void compare_tensor(const std::string& ctx, const Tensor& ref,
+                    const Tensor& got) {
+  if (ref.shape() != got.shape()) {
+    record(false, ctx + ": shape mismatch");
+    return;
+  }
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    const double d = std::fabs(static_cast<double>(ref.flat()[i]) -
+                               static_cast<double>(got.flat()[i]));
+    const double tol =
+        1e-4 * (1.0 + std::fabs(static_cast<double>(ref.flat()[i])));
+    if (d > tol) {
+      std::ostringstream os;
+      os << ctx << ": elem " << i << " ref " << ref.flat()[i] << " got "
+         << got.flat()[i];
+      record(false, os.str());
+      return;
+    }
+  }
+  record(true, "");
+}
+
+void verify_conv(bool backward) {
+  std::uint64_t seed = 0xC04;
+  for (const ConvCase& cc : kConvCases) {
+    const ConvOutputs ref = run_conv(cc, Backend::kScalar, seed);
+    for (const KernelTable* table : available_tables()) {
+      if (table->id == Backend::kScalar) continue;
+      const ConvOutputs got = run_conv(cc, table->id, seed);
+      std::ostringstream ctx;
+      ctx << (backward ? "conv2d_bwd" : "conv2d_fwd") << " [" << table->name
+          << "] c=" << cc.in_c << " h=" << cc.in_h << " w=" << cc.in_w
+          << " oc=" << cc.out_c << " k=" << cc.kernel << " s=" << cc.stride
+          << " p=" << cc.pad;
+      if (backward) {
+        compare_tensor(ctx.str() + " dx", ref.dx, got.dx);
+        compare_tensor(ctx.str() + " dweight", ref.dw, got.dw);
+        compare_tensor(ctx.str() + " dbias", ref.db, got.db);
+      } else {
+        compare_tensor(ctx.str() + " y", ref.y, got.y);
+      }
+    }
+    ++seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance pin
+// ---------------------------------------------------------------------------
+
+void verify_tolerance() {
+  // The FMA divergence budget is part of the backend ABI: loosening it
+  // silently would let real numeric bugs hide inside "tolerance". Any
+  // change must be deliberate (and documented in DESIGN.md).
+  record(kFmaUlpTol == 32.0F,
+         "kFmaUlpTol changed from the pinned 32.0 — update DESIGN.md, "
+         "bench baselines, and this pin deliberately");
+}
+
+// ---------------------------------------------------------------------------
+// Bench mode (--bench): cycles/call + GFLOP/s, scalar vs vector backends
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  double seconds_per_call = 0.0;
+  double cycles_per_call = 0.0;
+};
+
+template <typename Fn>
+BenchResult run_timed(Fn&& fn, double target_seconds) {
+  fn();  // warmup + first-touch
+  // Calibrate the repetition count off one timed call.
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  double once =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  once = std::max(once, 1e-9);
+  const int reps = std::max(1, static_cast<int>(target_seconds / once));
+
+  BenchResult best;
+  best.seconds_per_call = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 3; ++trial) {
+#if defined(HELIOS_CHECKASM_RDTSC)
+    const std::uint64_t c0 = __rdtsc();
+#endif
+    const auto s0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+            .count() /
+        reps;
+#if defined(HELIOS_CHECKASM_RDTSC)
+    const double cycles = static_cast<double>(__rdtsc() - c0) / reps;
+#else
+    const double cycles = 0.0;
+#endif
+    if (secs < best.seconds_per_call) {
+      best.seconds_per_call = secs;
+      best.cycles_per_call = cycles;
+    }
+  }
+  return best;
+}
+
+int run_bench(const std::string& out_path) {
+  const char* scale_env = std::getenv("HELIOS_BENCH_SCALE");
+  const std::string scale = scale_env != nullptr ? scale_env : "quick";
+  const double target = scale == "quick" ? 0.02 : 0.15;
+
+  struct ShapeClass {
+    const char* name;
+    int m, k, n;
+  };
+  // LeNet-conv-like, AlexNet-lite-conv-like, and a square compute-bound
+  // class; all with a full (all-active) mask so the masked machinery is on
+  // the measured path and the FLOP count stays exact.
+  const ShapeClass classes[] = {
+      {"lenet", 32, 150, 576},
+      {"alexnet_lite", 96, 363, 729},
+      {"large", 256, 512, 512},
+  };
+
+  std::ostringstream cases;
+  bool first = true;
+  for (const ShapeClass& sc : classes) {
+    for (const MatmulVariant& v : kMatmulVariants) {
+      Rng rng(42);
+      const int m = sc.m, k = sc.k, n = sc.n;
+      std::vector<float> a(v.a_elems(m, k, n));
+      std::vector<float> b(v.b_elems(m, k, n));
+      std::vector<float> c(v.c_elems(m, k, n), 0.0F);
+      fill_uniform(a, rng);
+      fill_uniform(b, rng);
+      const int mask_len = v.mask_over_m ? m : n;
+      std::vector<std::uint8_t> mask(static_cast<std::size_t>(mask_len), 1);
+      const std::vector<std::int32_t> active = pack_active(mask);
+      const std::int64_t extent = v.extent(m, k, n);
+      const double flops = 2.0 * m * k * n;
+
+      std::ostringstream line;
+      line << "    {\"name\": \"" << v.name << '/' << sc.name
+           << "\", \"flops\": " << flops;
+      double scalar_gflops = 0.0;
+      for (const KernelTable* table : available_tables()) {
+        MatmulArgs args;
+        args.a = a.data();
+        args.b = b.data();
+        args.c = c.data();
+        args.m = m;
+        args.k = k;
+        args.n = n;
+        args.mask = mask.data();
+        if (table->use_index_lists && v.inner_mask) {
+          args.active = active.data();
+          args.n_active = static_cast<std::int32_t>(active.size());
+        }
+        MatmulKernelFn fn = table->*(v.entry);
+        const BenchResult r =
+            run_timed([&] { fn(args, 0, extent); }, target);
+        const double gflops = flops / r.seconds_per_call * 1e-9;
+        if (table->id == Backend::kScalar) scalar_gflops = gflops;
+        line << ", \"" << table->name << "_gflops\": " << gflops << ", \""
+             << table->name << "_cycles_per_call\": " << r.cycles_per_call;
+        if (table->id != Backend::kScalar && scalar_gflops > 0.0) {
+          line << ", \"speedup_" << table->name
+               << "_vs_scalar\": " << gflops / scalar_gflops;
+        }
+      }
+      line << "}";
+      std::cout << "[checkasm bench] " << v.name << '/' << sc.name << "\n";
+      if (!first) cases << ",\n";
+      cases << line.str();
+      first = false;
+    }
+  }
+
+  // Optimizer kernels: memory-bound elementwise updates at the same three
+  // scales (element counts matching the matmul classes' C matrices).
+  const struct {
+    const char* cls;
+    std::size_t count;
+  } opt_classes[] = {
+      {"lenet", 18432}, {"alexnet_lite", 69984}, {"large", 262144}};
+  for (const auto& oc : opt_classes) {
+    Rng rng(43);
+    std::vector<float> w(oc.count), g(oc.count), mbuf(oc.count),
+        vbuf(oc.count);
+    fill_uniform(w, rng);
+    fill_uniform(g, rng);
+    fill_uniform(mbuf, rng);
+    fill_uniform(vbuf, rng, 0.0F, 1.0F);
+    for (const char* which : {"sgd_update", "adam_update"}) {
+      const bool is_sgd = std::string(which) == "sgd_update";
+      const double flops = static_cast<double>(oc.count) * (is_sgd ? 6 : 18);
+      std::ostringstream line;
+      line << "    {\"name\": \"" << which << '/' << oc.cls
+           << "\", \"flops\": " << flops;
+      double scalar_gflops = 0.0;
+      for (const KernelTable* table : available_tables()) {
+        BenchResult r;
+        if (is_sgd) {
+          SgdArgs args;
+          args.w = w.data();
+          args.g = g.data();
+          args.v = vbuf.data();
+          args.count = oc.count;
+          args.lr = 1e-4F;
+          args.momentum = 0.9F;
+          args.weight_decay = 1e-4F;
+          SgdKernelFn fn = table->sgd_update;
+          r = run_timed([&] { fn(args); }, target);
+        } else {
+          AdamArgs args;
+          args.w = w.data();
+          args.g = g.data();
+          args.m = mbuf.data();
+          args.v = vbuf.data();
+          args.count = oc.count;
+          args.lr = 1e-4F;
+          args.beta1 = 0.9F;
+          args.beta2 = 0.999F;
+          args.eps = 1e-8F;
+          args.bc1 = 0.271F;
+          args.bc2 = 0.002997F;
+          AdamKernelFn fn = table->adam_update;
+          r = run_timed([&] { fn(args); }, target);
+        }
+        const double gflops = flops / r.seconds_per_call * 1e-9;
+        if (table->id == Backend::kScalar) scalar_gflops = gflops;
+        line << ", \"" << table->name << "_gflops\": " << gflops << ", \""
+             << table->name << "_cycles_per_call\": " << r.cycles_per_call;
+        if (table->id != Backend::kScalar && scalar_gflops > 0.0) {
+          line << ", \"speedup_" << table->name
+               << "_vs_scalar\": " << gflops / scalar_gflops;
+        }
+      }
+      line << "}";
+      std::cout << "[checkasm bench] " << which << '/' << oc.cls << "\n";
+      cases << ",\n" << line.str();
+    }
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "checkasm: cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale << "\",\n"
+     << "  \"cases\": [\n" << cases.str() << "\n  ]\n}\n";
+  std::cout << "[checkasm bench] wrote " << out_path << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct NamedCheck {
+  std::string name;
+  void (*run)();
+};
+
+void run_conv_fwd() { verify_conv(/*backward=*/false); }
+void run_conv_bwd() { verify_conv(/*backward=*/true); }
+
+std::vector<NamedCheck> all_checks() {
+  std::vector<NamedCheck> checks;
+  for (const MatmulVariant& v : kMatmulVariants) {
+    // Captureless dispatch: find the variant again by name at run time.
+    checks.push_back({v.name, nullptr});
+  }
+  checks.push_back({"sgd_update", verify_sgd});
+  checks.push_back({"adam_update", verify_adam});
+  checks.push_back({"conv2d_fwd", run_conv_fwd});
+  checks.push_back({"conv2d_bwd", run_conv_bwd});
+  checks.push_back({"tolerance", verify_tolerance});
+  return checks;
+}
+
+bool run_check(const std::string& name) {
+  for (const MatmulVariant& v : kMatmulVariants) {
+    if (name == v.name) {
+      verify_matmul(v);
+      return true;
+    }
+  }
+  for (const NamedCheck& c : all_checks()) {
+    if (c.name == name && c.run != nullptr) {
+      c.run();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool bench = false;
+  std::string out_path = "BENCH_kernels.json";
+  std::vector<std::string> selected;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--bench") {
+      bench = true;
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--list") {
+      for (const NamedCheck& c : all_checks()) std::cout << c.name << "\n";
+      return 0;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "usage: checkasm_kernels [--list] [--bench [--out <file>]]"
+                << " [kernel...]\n";
+      return 2;
+    } else {
+      selected.push_back(args[i]);
+    }
+  }
+
+  std::cout << "checkasm: backends:";
+  for (const KernelTable* t : available_tables()) std::cout << ' ' << t->name;
+  std::cout << "\n";
+
+  if (bench) return run_bench(out_path);
+
+  if (selected.empty()) {
+    for (const NamedCheck& c : all_checks()) selected.push_back(c.name);
+  }
+  for (const std::string& name : selected) {
+    const int before = g_checks;
+    if (!run_check(name)) {
+      std::cerr << "checkasm: unknown kernel '" << name << "'\n";
+      return 2;
+    }
+    std::cout << "checkasm: " << name << ": " << (g_checks - before)
+              << " checks\n";
+  }
+
+  if (!g_failures.empty()) {
+    for (const std::string& f : g_failures) {
+      std::cout << "FAILED " << f << "\n";
+    }
+    std::cout << "checkasm: " << g_failures.size() << " of " << g_checks
+              << " checks FAILED\n";
+    return 1;
+  }
+  std::cout << "checkasm: all " << g_checks << " checks passed\n";
+  return 0;
+}

@@ -168,6 +168,64 @@ TEST(Im2col, Col2imIsAdjoint) {
   EXPECT_NEAR(lhs, rhs, 1e-3);
 }
 
+// Odd geometries for the unfold/fold property tests: strided, padded, 1x1
+// kernels, kernel == stride (disjoint patches), and non-square inputs.
+const Conv2dGeometry kOddGeometries[] = {
+    {2, 5, 5, 3, 2, 1},   // stride 2 + pad
+    {3, 4, 4, 1, 1, 0},   // 1x1 kernel
+    {1, 9, 9, 3, 3, 0},   // kernel == stride: every pixel in one patch
+    {2, 7, 3, 3, 1, 1},   // non-square input, pad
+    {4, 6, 10, 5, 2, 2},  // non-square, stride 2, wide pad
+};
+
+TEST(Im2col, FoldUnfoldMatchesCoverageCounts) {
+  // col2im(im2col(x)) == x * counts, where counts[p] is how many patches
+  // cover pixel p (computed by folding an all-ones cols matrix). Exact in
+  // float because each product is x * small-integer via repeated adds.
+  for (const Conv2dGeometry& g : kOddGeometries) {
+    util::Rng rng(21);
+    Tensor x = Tensor::randn({g.in_channels, g.in_h, g.in_w}, rng);
+    Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+    im2col(x, g, cols);
+    Tensor folded({g.in_channels, g.in_h, g.in_w});
+    col2im_accumulate(cols, g, folded);
+
+    Tensor ones = Tensor::full(cols.shape(), 1.0F);
+    Tensor counts({g.in_channels, g.in_h, g.in_w});
+    col2im_accumulate(ones, g, counts);
+
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      EXPECT_NEAR(folded.flat()[i], x.flat()[i] * counts.flat()[i], 1e-4F)
+          << "pixel " << i << " k=" << g.kernel << " s=" << g.stride
+          << " p=" << g.pad;
+    }
+  }
+}
+
+TEST(Im2col, AdjointHoldsOnOddGeometries) {
+  // <im2col(x), c> == <x, col2im(c)> for every odd geometry — fold must
+  // stay the exact adjoint of unfold or conv2d backward silently skews.
+  for (const Conv2dGeometry& g : kOddGeometries) {
+    util::Rng rng(22);
+    Tensor x = Tensor::randn({g.in_channels, g.in_h, g.in_w}, rng);
+    Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+    im2col(x, g, cols);
+    Tensor c = Tensor::randn(cols.shape(), rng);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < cols.numel(); ++i) {
+      lhs += static_cast<double>(cols.flat()[i]) * c.flat()[i];
+    }
+    Tensor folded({g.in_channels, g.in_h, g.in_w});
+    col2im_accumulate(c, g, folded);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      rhs += static_cast<double>(x.flat()[i]) * folded.flat()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3)
+        << "k=" << g.kernel << " s=" << g.stride << " p=" << g.pad;
+  }
+}
+
 TEST(Softmax, RowsSumToOne) {
   util::Rng rng(11);
   Tensor logits = Tensor::randn({4, 7}, rng, 3.0F);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -37,6 +39,28 @@ TEST(Tensor, FromValues) {
 
 TEST(Tensor, FromValuesSizeMismatchThrows) {
   EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, StorageIsCachelineAligned) {
+  // The SIMD kernel backends rely on element 0 of every tensor being
+  // 64-byte aligned (tensor.h AlignedAllocator); cover odd sizes so
+  // reallocation paths are exercised, not just the first allocation.
+  for (int len : {1, 3, 8, 17, 64, 1000}) {
+    Tensor t({len});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % kTensorAlignment,
+              0u)
+        << "len=" << len;
+    Tensor copy = t;
+    EXPECT_EQ(
+        reinterpret_cast<std::uintptr_t>(copy.data()) % kTensorAlignment, 0u);
+  }
+  util::Rng rng(3);
+  Tensor r = Tensor::randn({5, 7}, rng);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.data()) % kTensorAlignment,
+            0u);
+  Tensor v({3}, {1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kTensorAlignment,
+            0u);
 }
 
 TEST(Tensor, DimNegativeIndexing) {

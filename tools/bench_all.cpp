@@ -6,6 +6,7 @@
 //   bench_micro_kernels  ->  BENCH_parallel.json (1/2/4-thread sweep)
 //   bench_net            ->  BENCH_net.json      (wire bytes across loss rates)
 //   bench_scale          ->  BENCH_scale.json    (fleet-size scaling)
+//   checkasm_kernels     ->  BENCH_kernels.json  (scalar vs SIMD backends)
 //
 //   bench_all [--smoke] [--bin-dir <dir>]
 //
@@ -60,6 +61,9 @@ int main(int argc, char** argv) {
                              " --benchmark_filter=__none__"},
       {"net", bin_dir + "/bench_net"},
       {"scale", bin_dir + "/bench_scale"},
+      // The checkasm harness lives with the tests; its bench mode measures
+      // every kernel on every available backend (single call, no threading).
+      {"kernels", bin_dir + "/../tests/checkasm_kernels --bench"},
   };
 
   double total = 0.0;
@@ -81,6 +85,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "[bench_all] all benches done in " << total
             << " s; wrote BENCH_parallel.json BENCH_net.json "
-               "BENCH_scale.json\n";
+               "BENCH_scale.json BENCH_kernels.json\n";
   return 0;
 }
