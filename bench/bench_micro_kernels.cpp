@@ -10,12 +10,13 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.h"
+#include "util/atomic_file.h"
 #include "core/soft_training.h"
 #include "data/loader.h"
 #include "device/cost_model.h"
@@ -323,7 +324,7 @@ void write_parallel_scaling_json() {
   }
   util::set_global_threads(0);
 
-  std::ofstream os("BENCH_parallel.json");
+  std::ostringstream os;  // buffered; replaced atomically below
   os << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name << "\",\n"
      << "  \"hardware_concurrency\": "
      << std::thread::hardware_concurrency() << ",\n  \"cases\": [\n";
@@ -342,6 +343,7 @@ void write_parallel_scaling_json() {
   const obs::ProcMemory mem = obs::read_proc_memory();
   os << "  ],\n  \"rss_mb\": " << mem.rss_mb
      << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
+  util::atomic_write_file("BENCH_parallel.json", os.str());
   std::cout << "wrote BENCH_parallel.json (" << cases.size() << " cases)\n";
 }
 

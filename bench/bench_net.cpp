@@ -7,11 +7,12 @@
 // baseline. Written machine-readably to BENCH_net.json so CI can diff the
 // wire overhead and the graceful-degradation accuracy cost.
 #include <chrono>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.h"
+#include "util/atomic_file.h"
 #include "fl/transport.h"
 #include "obs/procstat.h"
 #include "obs/telemetry.h"
@@ -104,7 +105,7 @@ int main() {
 
   util::Table table({"method", "channel", "final acc (%)", "wire (MB)",
                      "lost", "drops", "wall (s)"});
-  std::ofstream json("BENCH_net.json");
+  std::ostringstream json;  // buffered; replaced atomically below
   json << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name
        << "\",\n  \"cycles\": " << task.cycles << ",\n  \"strategies\": [\n";
 
@@ -152,6 +153,7 @@ int main() {
   const obs::ProcMemory mem = obs::read_proc_memory();
   json << "  ],\n  \"rss_mb\": " << mem.rss_mb
        << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
+  util::atomic_write_file("BENCH_net.json", json.str());
 
   util::print_banner(std::cout,
                      "Network simulation: wire bytes, faults and accuracy "

@@ -10,16 +10,20 @@
 // bench_compare.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/straggler_id.h"
 #include "core/target.h"
+#include "fl/checkpoint.h"
 #include "obs/procstat.h"
 #include "sim/population.h"
 #include "sim/sampler.h"
+#include "util/atomic_file.h"
 #include "util/table.h"
 
 namespace {
@@ -35,6 +39,9 @@ struct ScaleStats {
   double final_replica_mb = 0.0;  // after the last round's hibernation
   double peak_rss_mb = 0.0;       // process-wide (monotone across runs)
   std::size_t cohort_rounds = 0;  // sampled client-rounds
+  double checkpoint_save_seconds = 0.0;  // full snapshot + atomic write
+  double checkpoint_load_seconds = 0.0;  // read + validate + restore
+  double checkpoint_file_mb = 0.0;       // framed file size on disk
 };
 
 ScaleStats run_once(const std::string& method, int devices, int cycles) {
@@ -76,6 +83,30 @@ ScaleStats run_once(const std::string& method, int devices, int cycles) {
 
   for (auto& c : fleet.clients()) sampled += c->materialized() ? 1 : 0;
   peak_bytes = std::max(peak_bytes, fleet.live_replica_bytes());
+
+  // Checkpoint cost at this fleet size: a full save (snapshot + atomic
+  // write) and a full resume (read + validate + restore) of the state the
+  // run just produced. Gated by bench_compare via the *seconds* keys.
+  {
+    const std::string ckpt = "BENCH_scale_ckpt.tmp";
+    const auto s0 = std::chrono::steady_clock::now();
+    fleet.save_checkpoint(ckpt, strategy.get(), result);
+    s.checkpoint_save_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+            .count();
+    std::ifstream in(ckpt, std::ios::binary | std::ios::ate);
+    if (in) s.checkpoint_file_mb = static_cast<double>(in.tellg()) / 1e6;
+    in.close();
+    const auto l0 = std::chrono::steady_clock::now();
+    const fl::RunResult restored = fleet.resume(ckpt, strategy.get());
+    s.checkpoint_load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - l0)
+            .count();
+    if (restored.rounds.size() != result.rounds.size()) {
+      std::cerr << "WARNING: checkpoint round-trip dropped rounds\n";
+    }
+    std::remove(ckpt.c_str());
+  }
   s.accuracy = result.final_accuracy();
   s.setup_seconds = setup.count();
   s.wall_seconds = wall.count();
@@ -105,7 +136,7 @@ int main() {
   util::Table table({"devices", "method", "rounds/s", "wall (s)",
                      "peak replicas (MB)", "full fleet (MB)", "peak RSS (MB)",
                      "final acc (%)"});
-  std::ofstream json("BENCH_scale.json");
+  std::ostringstream json;  // buffered; replaced atomically below
   json << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale.name
        << "\",\n  \"cycles\": " << cycles << ",\n  \"points\": [\n";
 
@@ -138,6 +169,9 @@ int main() {
            << ", \"final_replica_mb\": " << s.final_replica_mb
            << ", \"peak_rss_mb\": " << s.peak_rss_mb
            << ", \"materialized_clients\": " << s.cohort_rounds
+           << ", \"checkpoint_save_seconds\": " << s.checkpoint_save_seconds
+           << ", \"checkpoint_load_seconds\": " << s.checkpoint_load_seconds
+           << ", \"checkpoint_file_mb\": " << s.checkpoint_file_mb
            << ", \"accuracy\": " << s.accuracy << "}"
            << (m + 1 < methods.size() ? "," : "") << "\n";
     }
@@ -146,6 +180,7 @@ int main() {
   const obs::ProcMemory mem = obs::read_proc_memory();
   json << "  ],\n  \"rss_mb\": " << mem.rss_mb
        << ",\n  \"peak_rss_mb\": " << mem.peak_rss_mb << "\n}\n";
+  util::atomic_write_file("BENCH_scale.json", json.str());
 
   util::print_banner(std::cout,
                      "Population scale: rounds/s and memory, Helios vs "

@@ -38,16 +38,16 @@ HeliosStrategy::StragglerState& HeliosStrategy::state_for(fl::Client& client) {
   return it->second;
 }
 
-fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
-  fl::RunResult result;
-  result.method = name();
+void HeliosStrategy::run_range(fl::Fleet& fleet, fl::RunResult& result,
+                               int begin, int end) {
   fl::AggOptions opts;
   opts.hetero_volume_weights = config_.hetero_aggregation;
   opts.per_neuron_merge = config_.hetero_aggregation;
   opts.alpha_damping = config_.alpha_damping;
+  if (begin == 0) state_.clear();
 
   obs::TelemetrySink* tel = fleet.telemetry();
-  for (int cycle = 0; cycle < cycles; ++cycle) {
+  for (int cycle = begin; cycle < end; ++cycle) {
     HELIOS_TRACE_SPAN("helios.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
     if (cycle_hook_) cycle_hook_(fleet, cycle);
@@ -167,7 +167,49 @@ fl::RunResult HeliosStrategy::run(fl::Fleet& fleet, int cycles) {
                                r.upload_mb);
     }
   }
-  return result;
+}
+
+void HeliosStrategy::save_state(const fl::Fleet& fleet,
+                                fl::CheckpointWriter& w) const {
+  (void)fleet;
+  std::vector<int> ids;
+  ids.reserve(state_.size());
+  for (const auto& [id, st] : state_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (int id : ids) {
+    const StragglerState& st = state_.at(id);
+    w.i32(id);
+    w.f64(st.trainer->keep_ratio());
+    w.vec_f64(st.trainer->contributions());
+    w.rng(st.trainer->rng_state());
+    w.vec_i32(st.regulator->skipped());
+  }
+}
+
+void HeliosStrategy::load_state(fl::Fleet& fleet, fl::CheckpointReader& r) {
+  state_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int id = r.i32();
+    const double keep_ratio = r.f64();
+    std::vector<double> contributions = r.vec_f64();
+    const util::RngState rng = r.rng();
+    std::vector<int> skipped = r.vec_i32();
+    fl::Client* client = fleet.find_client(id);
+    if (client == nullptr) {
+      throw fl::CheckpointError(
+          "HeliosStrategy: checkpointed straggler id not in fleet");
+    }
+    // state_for rebuilds geometry from the estimation model; overlay the
+    // carried state on top.
+    StragglerState& st = state_for(*client);
+    st.trainer->set_keep_ratio(keep_ratio);
+    st.trainer->set_contributions(std::move(contributions));
+    st.trainer->set_rng_state(rng);
+    st.regulator->set_budget_total(st.trainer->budget_total());
+    st.regulator->set_skipped(std::move(skipped));
+  }
 }
 
 }  // namespace helios::core

@@ -44,7 +44,15 @@ class HeliosStrategy final : public fl::Strategy {
   explicit HeliosStrategy(HeliosConfig config = {});
 
   std::string name() const override;
-  fl::RunResult run(fl::Fleet& fleet, int cycles) override;
+  void run_range(fl::Fleet& fleet, fl::RunResult& result, int begin,
+                 int end) override;
+
+  /// Cross-cycle soft-training state, per straggler: keep ratio, per-neuron
+  /// contributions U^ij, the mask-drawing RNG position, and the C_s
+  /// rotation counters. Serialized sorted by client id.
+  void save_state(const fl::Fleet& fleet,
+                  fl::CheckpointWriter& w) const override;
+  void load_state(fl::Fleet& fleet, fl::CheckpointReader& r) override;
 
   /// Invoked at the start of every cycle — used by the scalability example
   /// to admit devices mid-collaboration. Soft-training state for new

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace helios::core {
@@ -36,6 +37,16 @@ class RotationRegulator {
   int skipped_cycles(int neuron) const;
 
   int neuron_total() const { return static_cast<int>(skipped_.size()); }
+
+  // Checkpoint hooks: C_s is the whole cross-cycle state (the threshold is
+  // derived from the budget, which the caller re-applies on restore).
+  const std::vector<int>& skipped() const { return skipped_; }
+  void set_skipped(std::vector<int> s) {
+    if (s.size() != skipped_.size()) {
+      throw std::invalid_argument("RotationRegulator: C_s size mismatch");
+    }
+    skipped_ = std::move(s);
+  }
 
  private:
   std::vector<int> skipped_;

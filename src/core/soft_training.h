@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "fl/submodel.h"
@@ -57,6 +58,18 @@ class SoftTrainer {
   int neuron_total() const { return static_cast<int>(u_.size()); }
   /// Total per-cycle budget sum(P_i n_i) at the current volume.
   int budget_total() const;
+
+  // Checkpoint hooks: cross-cycle state is (contributions, rng position,
+  // keep ratio — already settable above). Geometry (ranges/neurons) is
+  // derived from the model and rebuilt at construction.
+  void set_contributions(std::vector<double> u) {
+    if (u.size() != u_.size()) {
+      throw std::invalid_argument("SoftTrainer: contribution size mismatch");
+    }
+    u_ = std::move(u);
+  }
+  util::RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const util::RngState& s) { rng_ = util::Rng::from_state(s); }
 
  private:
   SoftTrainerConfig config_;

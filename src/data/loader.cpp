@@ -33,6 +33,19 @@ int DataLoader::batches_per_epoch() const {
 
 void DataLoader::reset() { shuffle_order(); }
 
+void DataLoader::restore(const util::RngState& rng,
+                         std::vector<std::size_t> order, std::size_t cursor) {
+  if (order.size() != order_.size()) {
+    throw std::invalid_argument("DataLoader::restore: order size mismatch");
+  }
+  if (cursor > order.size()) {
+    throw std::invalid_argument("DataLoader::restore: cursor out of range");
+  }
+  rng_ = util::Rng::from_state(rng);
+  order_ = std::move(order);
+  cursor_ = cursor;
+}
+
 Batch DataLoader::next() {
   const std::size_t n = order_.size();
   if (cursor_ >= n ||

@@ -32,6 +32,18 @@ class DataLoader {
   int batch_size() const { return batch_size_; }
   const Dataset& dataset() const { return dataset_; }
 
+  // Checkpoint hooks. The full iteration state is (rng, order, cursor):
+  // shuffle_order() permutes the *existing* order in place, so the order
+  // vector's content feeds into every future shuffle and must round-trip
+  // alongside the rng position for bit-identical resume.
+  util::RngState rng_state() const { return rng_.state(); }
+  const std::vector<std::size_t>& order() const { return order_; }
+  std::size_t cursor() const { return cursor_; }
+  /// Restores a snapshotted iteration position; `order` must be a
+  /// permutation of the dataset indices (size-checked).
+  void restore(const util::RngState& rng, std::vector<std::size_t> order,
+               std::size_t cursor);
+
  private:
   const Dataset& dataset_;
   int batch_size_;

@@ -14,7 +14,15 @@
 // themselves every cycle; each straggler's update is merged every k cycles
 // from the snapshot it started on — the "aggregation cycle = 2 / 3 epochs"
 // settings of Fig. 2.
+//
+// All engine state (event heap, in-flight snapshots, straggler background
+// state) lives in members so a run can be checkpointed at any round boundary
+// and resumed bit-identically via save_state/load_state.
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
 
 #include "fl/strategy.h"
 
@@ -25,14 +33,57 @@ class AsyncFL final : public Strategy {
   explicit AsyncFL(int straggler_period = 0, double mix_beta = 0.5);
 
   std::string name() const override;
-  RunResult run(Fleet& fleet, int cycles) override;
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
+
+  /// Engine state for the active mode: the event heap + in-flight base
+  /// snapshots (fully async) or the straggler background map (period mode).
+  void save_state(const Fleet& fleet, CheckpointWriter& w) const override;
+  void load_state(Fleet& fleet, CheckpointReader& r) override;
 
  private:
-  RunResult run_fully_async(Fleet& fleet, int cycles);
-  RunResult run_period(Fleet& fleet, int cycles);
+  /// A device-finishes-training event. The heap is kept as a plain vector
+  /// (std::push_heap/std::pop_heap) so it serializes verbatim: the same
+  /// array produces the identical pop order after a resume.
+  struct Event {
+    double time = 0.0;
+    int client_index = 0;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  /// The global snapshot a device trains against while its event is queued.
+  /// Clients are addressed by fleet index, not pointer, so the state
+  /// survives serialization.
+  struct InFlight {
+    std::vector<float> base;
+    std::vector<float> base_buffers;
+  };
+  /// Period mode: the snapshot a straggler started from and when. Ordered
+  /// map — checkpoint bytes must not depend on hash iteration order.
+  struct PeriodState {
+    std::vector<float> base;
+    std::vector<float> base_buffers;
+    bool busy = false;
+    int started_cycle = 0;
+  };
+
+  void run_fully_async(Fleet& fleet, RunResult& result, int begin, int end);
+  void run_period(Fleet& fleet, RunResult& result, int begin, int end);
 
   int straggler_period_;
   double mix_beta_;
+
+  // --- fully-async engine state (straggler_period_ == 0) ---
+  std::vector<Event> events_;  // min-heap via std::greater<Event>
+  std::vector<InFlight> inflight_;
+  std::vector<std::uint8_t> parked_;
+  int reference_id_ = -1;
+  int recorded_ = 0;
+  double loss_acc_ = 0.0;
+  double upload_acc_ = 0.0;
+  int loss_count_ = 0;
+
+  // --- period-mode state (straggler_period_ > 0) ---
+  std::map<int, PeriodState> period_state_;
 };
 
 }  // namespace helios::fl

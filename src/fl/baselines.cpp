@@ -1,7 +1,6 @@
 #include "fl/baselines.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "fl/submodel.h"
 #include "fl/transport.h"
@@ -10,16 +9,14 @@
 namespace helios::fl {
 namespace {
 
-/// Shared synchronous loop: `mask_for(client, cycle)` supplies each
-/// straggler's submodel mask (empty = full model).
+/// Shared synchronous loop over cycles [begin, end): `mask_for(client,
+/// cycle)` supplies each straggler's submodel mask (empty = full model).
 template <typename MaskFn>
-RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
-                            MaskFn mask_for) {
-  RunResult result;
-  result.method = method;
+void run_sync_submodel(Fleet& fleet, RunResult& result, int begin, int end,
+                       MaskFn mask_for) {
   AggOptions opts;  // sample weighting, no hetero weights for baselines
   obs::TelemetrySink* tel = fleet.telemetry();
-  for (int cycle = 0; cycle < cycles; ++cycle) {
+  for (int cycle = begin; cycle < end; ++cycle) {
     HELIOS_TRACE_SPAN("baseline.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
     // Masks are drawn sequentially first (mask_for may consume per-client
@@ -51,48 +48,93 @@ RunResult run_sync_submodel(Fleet& fleet, int cycles, const char* method,
                                r.upload_mb);
     }
   }
-  return result;
 }
 
 }  // namespace
 
 RandomSubmodel::RandomSubmodel(std::uint64_t seed) : seed_(seed) {}
 
-RunResult RandomSubmodel::run(Fleet& fleet, int cycles) {
-  util::Rng rng(seed_);
-  std::unordered_map<int, util::Rng> client_rng;
-  for (auto& c : fleet.clients()) {
-    client_rng.emplace(c->id(), rng.fork(static_cast<std::uint64_t>(c->id())));
+void RandomSubmodel::run_range(Fleet& fleet, RunResult& result, int begin,
+                               int end) {
+  if (begin == 0) {
+    util::Rng rng(seed_);
+    client_rng_.clear();
+    for (auto& c : fleet.clients()) {
+      client_rng_.emplace(c->id(),
+                          rng.fork(static_cast<std::uint64_t>(c->id())));
+    }
   }
-  return run_sync_submodel(
-      fleet, cycles, "Random",
+  run_sync_submodel(
+      fleet, result, begin, end,
       [&](Client& client, int /*cycle*/) -> std::vector<std::uint8_t> {
         if (!client.is_straggler() || client.volume() >= 1.0) return {};
         return random_volume_mask(client.estimation_model(), client.volume(),
-                                  client_rng.at(client.id()));
+                                  client_rng_.at(client.id()));
       });
+}
+
+void RandomSubmodel::save_state(const Fleet& fleet,
+                                CheckpointWriter& w) const {
+  (void)fleet;
+  w.u32(static_cast<std::uint32_t>(client_rng_.size()));
+  for (const auto& [id, rng] : client_rng_) {
+    w.i32(id);
+    w.rng(rng.state());
+  }
+}
+
+void RandomSubmodel::load_state(Fleet& fleet, CheckpointReader& r) {
+  (void)fleet;
+  client_rng_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int id = r.i32();
+    client_rng_.emplace(id, util::Rng::from_state(r.rng()));
+  }
 }
 
 StaticPrune::StaticPrune(std::uint64_t seed) : seed_(seed) {}
 
-RunResult StaticPrune::run(Fleet& fleet, int cycles) {
-  util::Rng rng(seed_);
-  // One fixed mask per straggler for the whole run.
-  std::unordered_map<int, std::vector<std::uint8_t>> fixed;
-  for (auto& c : fleet.clients()) {
-    if (c->is_straggler() && c->volume() < 1.0) {
-      util::Rng crng = rng.fork(static_cast<std::uint64_t>(c->id()));
-      fixed.emplace(c->id(), random_volume_mask(c->estimation_model(),
-                                                c->volume(), crng));
+void StaticPrune::run_range(Fleet& fleet, RunResult& result, int begin,
+                            int end) {
+  if (begin == 0) {
+    util::Rng rng(seed_);
+    // One fixed mask per straggler for the whole run.
+    fixed_.clear();
+    for (auto& c : fleet.clients()) {
+      if (c->is_straggler() && c->volume() < 1.0) {
+        util::Rng crng = rng.fork(static_cast<std::uint64_t>(c->id()));
+        fixed_.emplace(c->id(), random_volume_mask(c->estimation_model(),
+                                                   c->volume(), crng));
+      }
     }
   }
-  return run_sync_submodel(
-      fleet, cycles, "Static Prune",
+  run_sync_submodel(
+      fleet, result, begin, end,
       [&](Client& client, int /*cycle*/) -> std::vector<std::uint8_t> {
-        auto it = fixed.find(client.id());
-        if (it == fixed.end()) return {};
+        auto it = fixed_.find(client.id());
+        if (it == fixed_.end()) return {};
         return it->second;
       });
+}
+
+void StaticPrune::save_state(const Fleet& fleet, CheckpointWriter& w) const {
+  (void)fleet;
+  w.u32(static_cast<std::uint32_t>(fixed_.size()));
+  for (const auto& [id, mask] : fixed_) {
+    w.i32(id);
+    w.vec_u8(mask);
+  }
+}
+
+void StaticPrune::load_state(Fleet& fleet, CheckpointReader& r) {
+  (void)fleet;
+  fixed_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int id = r.i32();
+    fixed_.emplace(id, r.vec_u8());
+  }
 }
 
 }  // namespace helios::fl

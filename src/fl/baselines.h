@@ -10,7 +10,10 @@
 // paper argues against; pruned neurons never rejoin training.
 #pragma once
 
+#include <map>
+
 #include "fl/strategy.h"
+#include "util/rng.h"
 
 namespace helios::fl {
 
@@ -18,20 +21,34 @@ class RandomSubmodel final : public Strategy {
  public:
   explicit RandomSubmodel(std::uint64_t seed = 99);
   std::string name() const override { return "Random"; }
-  RunResult run(Fleet& fleet, int cycles) override;
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
+
+  /// Cross-cycle state: each straggler's mask-drawing RNG position.
+  void save_state(const Fleet& fleet, CheckpointWriter& w) const override;
+  void load_state(Fleet& fleet, CheckpointReader& r) override;
 
  private:
   std::uint64_t seed_;
+  /// Per-client mask RNG, forked by id at cycle 0 (ordered map: checkpoint
+  /// serialization must not depend on hash iteration order).
+  std::map<int, util::Rng> client_rng_;
 };
 
 class StaticPrune final : public Strategy {
  public:
   explicit StaticPrune(std::uint64_t seed = 99);
   std::string name() const override { return "Static Prune"; }
-  RunResult run(Fleet& fleet, int cycles) override;
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
+
+  /// Cross-cycle state: the once-drawn permanent mask per straggler.
+  void save_state(const Fleet& fleet, CheckpointWriter& w) const override;
+  void load_state(Fleet& fleet, CheckpointReader& r) override;
 
  private:
   std::uint64_t seed_;
+  std::map<int, std::vector<std::uint8_t>> fixed_;
 };
 
 }  // namespace helios::fl

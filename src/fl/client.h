@@ -142,6 +142,19 @@ class Client {
   int cycles_completed() const { return cycles_completed_; }
   /// Effective learning rate for the next cycle.
   float current_lr() const;
+  /// Checkpoint restore: the counter feeds lr decay, so a resumed client
+  /// must continue from the snapshotted value.
+  void set_cycles_completed(int n) { cycles_completed_ = n; }
+
+  /// Checkpoint access to the cross-round mutable parts: the data loader
+  /// (shuffle RNG + epoch order + cursor) and the optimizer (momentum
+  /// velocity). Model replica parameters are NOT checkpointed — they are
+  /// overwritten by the global snapshot at every cycle start, so only the
+  /// materialized flag matters.
+  data::DataLoader& loader() { return loader_; }
+  const data::DataLoader& loader() const { return loader_; }
+  nn::Sgd& optimizer() { return opt_; }
+  const nn::Sgd& optimizer() const { return opt_; }
 
   /// Observability sink (set by Fleet::set_telemetry; may be null). The
   /// client reports each completed cycle's time split and trained-neuron

@@ -92,11 +92,10 @@ std::string CompressedSyncFL::name() const {
              keep_fraction_ * 100.0)) + "%";
 }
 
-RunResult CompressedSyncFL::run(Fleet& fleet, int cycles) {
-  RunResult result;
-  result.method = name();
+void CompressedSyncFL::run_range(Fleet& fleet, RunResult& result, int begin,
+                                 int end) {
   AggOptions opts;
-  for (int cycle = 0; cycle < cycles; ++cycle) {
+  for (int cycle = begin; cycle < end; ++cycle) {
     const std::vector<float> base(fleet.server().global());
     std::vector<Client*> roster = fleet.active_clients();
     const net::WireLayout* layout =
@@ -117,7 +116,6 @@ RunResult CompressedSyncFL::run(Fleet& fleet, int cycles) {
                              loss / static_cast<double>(roster.size()),
                              net.upload_mb});
   }
-  return result;
 }
 
 }  // namespace helios::fl

@@ -48,7 +48,9 @@ class CompressedSyncFL final : public Strategy {
  public:
   explicit CompressedSyncFL(double keep_fraction);
   std::string name() const override;
-  RunResult run(Fleet& fleet, int cycles) override;
+  /// No cross-cycle strategy state — inherits the no-op checkpoint hooks.
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
 
  private:
   double keep_fraction_;

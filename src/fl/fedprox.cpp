@@ -15,13 +15,17 @@ FedProx::FedProx(float mu, double min_work) : mu_(mu), min_work_(min_work) {
   }
 }
 
-RunResult FedProx::run(Fleet& fleet, int cycles) {
-  RunResult result;
-  result.method = name();
+void FedProx::run_range(Fleet& fleet, RunResult& result, int begin, int end) {
   AggOptions opts;
-  for (auto& client : fleet.clients()) client->set_proximal_mu(mu_);
+  // Install mu only when the run starts: after a resume the per-client
+  // checkpoint section already restored each client's mu (including any
+  // churn joiner that never received it), identical to the uninterrupted
+  // run.
+  if (begin == 0) {
+    for (auto& client : fleet.clients()) client->set_proximal_mu(mu_);
+  }
   obs::TelemetrySink* tel = fleet.telemetry();
-  for (int cycle = 0; cycle < cycles; ++cycle) {
+  for (int cycle = begin; cycle < end; ++cycle) {
     HELIOS_TRACE_SPAN("fedprox.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
     // Per-client work scales are fixed by straggler volume, so they are
@@ -56,7 +60,6 @@ RunResult FedProx::run(Fleet& fleet, int cycles) {
                                r.upload_mb);
     }
   }
-  return result;
 }
 
 }  // namespace helios::fl

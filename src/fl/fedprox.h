@@ -22,7 +22,10 @@ class FedProx final : public Strategy {
   explicit FedProx(float mu = 0.01F, double min_work = 0.05);
 
   std::string name() const override { return "FedProx"; }
-  RunResult run(Fleet& fleet, int cycles) override;
+  /// No cross-cycle strategy state: the proximal mu is installed into the
+  /// clients at cycle 0 and travels with the per-client checkpoint section.
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
 
  private:
   float mu_;

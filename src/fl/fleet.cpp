@@ -32,6 +32,7 @@ Fleet::Fleet(Fleet&& other) noexcept
       telemetry_(other.telemetry_),
       network_(other.network_),
       sampler_(other.sampler_),
+      checkpointables_(std::move(other.checkpointables_)),
       next_id_(other.next_id_) {
   for (auto& c : clients_) c->set_estimation_model(&server_.reference_model());
 }
@@ -46,6 +47,7 @@ Fleet& Fleet::operator=(Fleet&& other) noexcept {
   telemetry_ = other.telemetry_;
   network_ = other.network_;
   sampler_ = other.sampler_;
+  checkpointables_ = std::move(other.checkpointables_);
   next_id_ = other.next_id_;
   for (auto& c : clients_) c->set_estimation_model(&server_.reference_model());
   return *this;

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "device/virtual_clock.h"
 #include "fl/client.h"
@@ -17,6 +20,9 @@ class TelemetrySink;
 namespace helios::fl {
 
 class NetworkSession;
+class Strategy;
+struct RunResult;
+class Checkpointable;
 
 /// Per-round cohort selection policy (implemented by sim::CohortSampler).
 /// Membership must be a pure function of (policy state, device id, round) —
@@ -127,6 +133,29 @@ class Fleet {
   void set_network(NetworkSession* session) { network_ = session; }
   NetworkSession* network() const { return network_; }
 
+  // -- Checkpoint / resume ---------------------------------------------------
+  // (Implemented in checkpoint.cpp; see fl/checkpoint.h for the contract.)
+
+  /// Registers a component with cross-round state (e.g. sim::ChurnProcess)
+  /// to ride inside checkpoints. Names and registration order must match
+  /// between the saving and the resuming process. The fleet does not own
+  /// the component; it must outlive the fleet's checkpoint calls.
+  void register_checkpointable(std::string name, Checkpointable* component);
+  const std::vector<std::pair<std::string, Checkpointable*>>&
+  checkpointables() const {
+    return checkpointables_;
+  }
+
+  /// Writes the full collaboration state (fleet + registered components +
+  /// `strategy`'s state, when non-null, + the partial `result`) to `path`
+  /// atomically.
+  void save_checkpoint(const std::string& path, const Strategy* strategy,
+                       const RunResult& result);
+  /// Restores a checkpoint written by save_checkpoint into this (freshly
+  /// rebuilt, identically configured) fleet and `strategy`; returns the
+  /// partial RunResult. Throws fl::CheckpointError on corruption/mismatch.
+  RunResult resume(const std::string& path, Strategy* strategy);
+
  private:
   models::ModelSpec spec_;
   Server server_;
@@ -136,6 +165,7 @@ class Fleet {
   obs::TelemetrySink* telemetry_ = nullptr;
   NetworkSession* network_ = nullptr;
   const RosterSampler* sampler_ = nullptr;
+  std::vector<std::pair<std::string, Checkpointable*>> checkpointables_;
   int next_id_ = 0;
 };
 

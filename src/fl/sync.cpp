@@ -22,13 +22,11 @@ std::string SyncFL::name() const {
   return "Syn. FL (C=" + std::to_string(participation_).substr(0, 4) + ")";
 }
 
-RunResult SyncFL::run(Fleet& fleet, int cycles) {
-  RunResult result;
-  result.method = name();
+void SyncFL::run_range(Fleet& fleet, RunResult& result, int begin, int end) {
   AggOptions opts;  // plain sample-weighted FedAvg
-  util::Rng rng(seed_);
+  if (begin == 0) rng_ = util::Rng(seed_);
   obs::TelemetrySink* tel = fleet.telemetry();
-  for (int cycle = 0; cycle < cycles; ++cycle) {
+  for (int cycle = begin; cycle < end; ++cycle) {
     HELIOS_TRACE_SPAN("sync.cycle", {{"cycle", cycle}});
     if (tel) tel->set_cycle(cycle);
     // Sample this cycle's participants from the round roster: the fleet's
@@ -45,7 +43,7 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
                  std::llround(participation_ *
                               static_cast<double>(active.size()))));
       for (std::size_t idx :
-           rng.sample_without_replacement(active.size(), k)) {
+           rng_.sample_without_replacement(active.size(), k)) {
         participants.push_back(active[idx]);
       }
     }
@@ -76,7 +74,16 @@ RunResult SyncFL::run(Fleet& fleet, int cycles) {
                                r.upload_mb);
     }
   }
-  return result;
+}
+
+void SyncFL::save_state(const Fleet& fleet, CheckpointWriter& w) const {
+  (void)fleet;
+  w.rng(rng_.state());
+}
+
+void SyncFL::load_state(Fleet& fleet, CheckpointReader& r) {
+  (void)fleet;
+  rng_ = util::Rng::from_state(r.rng());
 }
 
 }  // namespace helios::fl

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "fl/strategy.h"
+#include "util/rng.h"
 
 namespace helios::fl {
 
@@ -17,11 +18,17 @@ class SyncFL final : public Strategy {
   explicit SyncFL(double participation = 1.0, std::uint64_t seed = 17);
 
   std::string name() const override;
-  RunResult run(Fleet& fleet, int cycles) override;
+  void run_range(Fleet& fleet, RunResult& result, int begin,
+                 int end) override;
+
+  /// Cross-cycle state is the participation-sampling RNG position.
+  void save_state(const Fleet& fleet, CheckpointWriter& w) const override;
+  void load_state(Fleet& fleet, CheckpointReader& r) override;
 
  private:
   double participation_;
   std::uint64_t seed_;
+  util::Rng rng_{0};  ///< reseeded from seed_ when a run starts at cycle 0
 };
 
 }  // namespace helios::fl

@@ -82,6 +82,21 @@ class SimulatedChannel {
   const ChannelConfig& config() const { return config_; }
   void set_config(ChannelConfig config);
 
+  // -- Checkpoint hooks -----------------------------------------------------
+  // Mutable state beyond the config: the Rng position (advanced by
+  // jitter/loss draws), the scripted death time, and the outage windows.
+  // The fl checkpoint layer snapshots and restores these so a resumed run's
+  // channels replay the identical fault/jitter sequence.
+  util::RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const util::RngState& s) { rng_ = util::Rng::from_state(s); }
+  double death_s() const { return death_s_; }
+  const std::vector<std::pair<double, double>>& outages() const {
+    return outages_;
+  }
+  void set_outages(std::vector<std::pair<double, double>> outages) {
+    outages_ = std::move(outages);
+  }
+
  private:
   ChannelConfig config_;
   double bandwidth_mbps_ = 0.0;

@@ -39,6 +39,13 @@ SimulatedChannel& RoundProtocol::channel(int id) {
   return it->second;
 }
 
+std::vector<int> RoundProtocol::device_ids() const {
+  std::vector<int> ids;
+  ids.reserve(channels_.size());
+  for (const auto& [id, chan] : channels_) ids.push_back(id);
+  return ids;
+}
+
 void RoundProtocol::configure_device(int id, ChannelConfig config) {
   overrides_[id] = config;
   auto it = channels_.find(id);

@@ -26,6 +26,12 @@ class Sgd {
   void set_lr(float lr) { lr_ = lr; }
   float momentum() const { return momentum_; }
 
+  // Checkpoint hooks: the velocity buffer is the only cross-step state.
+  // Empty until the first momentum step (lazily sized), and stays empty
+  // forever when momentum == 0 — round-trips either way.
+  const std::vector<float>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<float> v) { velocity_ = std::move(v); }
+
  private:
   float lr_;
   float momentum_;

@@ -76,6 +76,12 @@ RunJournal::RunJournal(std::ostream* os)
   commit(line);
 }
 
+RunJournal::RunJournal(std::ostream* os, std::uint64_t resumed_events)
+    : os_(os), epoch_(std::chrono::steady_clock::now()) {
+  if (os_ == nullptr) return;
+  events_ = resumed_events;
+}
+
 RunJournal::~RunJournal() { close(); }
 
 double RunJournal::wall_ms() const {

@@ -60,6 +60,13 @@ class RunJournal {
   /// produces a disabled journal: every record call returns after one
   /// branch. Writes the run_start line immediately when enabled.
   explicit RunJournal(std::ostream* os);
+
+  /// Resume variant (checkpoint/resume): continues an existing journal whose
+  /// first `resumed_events` events are already on disk — no run_start line is
+  /// written and the event counter starts at `resumed_events`, so the
+  /// eventual run_end's count covers the whole run seamlessly, with no
+  /// duplicated or missing events across the crash.
+  RunJournal(std::ostream* os, std::uint64_t resumed_events);
   ~RunJournal();
 
   RunJournal(const RunJournal&) = delete;

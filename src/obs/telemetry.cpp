@@ -1,9 +1,13 @@
 #include "obs/telemetry.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
 #include <string>
+#include <system_error>
 
 #include "obs/procstat.h"
+#include "util/atomic_file.h"
 #include "util/log.h"
 
 namespace helios::obs {
@@ -34,9 +38,36 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
   }
   if (config_.journal) {
     if (!config_.artifact_prefix.empty()) {
-      journal_file_ = std::make_unique<std::ofstream>(
-          config_.artifact_prefix + ".journal.jsonl");
-      journal_ = std::make_unique<RunJournal>(journal_file_.get());
+      const std::string path = config_.artifact_prefix + ".journal.jsonl";
+      if (config_.journal_resume) {
+        // Continue the crashed run's journal: drop any torn tail written
+        // after the checkpoint, then append. The checkpointed offset is a
+        // line boundary (the journal flushes before reporting its
+        // position), so the file stays valid JSONL.
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+          std::filesystem::resize_file(path, config_.journal_resume_offset,
+                                       ec);
+        }
+        // in|out|ate (not app): positions at the end immediately, so
+        // tellp() — the next checkpoint's journal offset — is valid even
+        // before the first new event lands.
+        journal_file_ = std::make_unique<std::ofstream>(
+            path, std::ios::in | std::ios::out | std::ios::ate);
+        if (!journal_file_->is_open()) {
+          // No prior journal survived (e.g. crash before the first flush):
+          // start a fresh file but keep the resumed event counter.
+          journal_file_ = std::make_unique<std::ofstream>(path);
+        }
+        journal_ = std::make_unique<RunJournal>(
+            journal_file_.get(), config_.journal_resume_events);
+      } else {
+        journal_file_ = std::make_unique<std::ofstream>(path);
+        journal_ = std::make_unique<RunJournal>(journal_file_.get());
+      }
+    } else if (config_.journal_resume) {
+      journal_ = std::make_unique<RunJournal>(
+          &journal_buffer_, config_.journal_resume_events);
     } else {
       journal_ = std::make_unique<RunJournal>(&journal_buffer_);
     }
@@ -314,24 +345,37 @@ void TelemetrySink::flush() {
   flushed_ = true;
   sample_process_memory(metrics_);
   const std::string& p = config_.artifact_prefix;
-  {
-    std::ofstream os(p + ".metrics.json");
-    metrics_.write_json(os);
-  }
-  {
-    std::ofstream os(p + ".metrics.prom");
-    metrics_.write_prometheus(os);
-  }
-  {
-    std::ofstream os(p + ".dashboard.json");
-    dashboard_.write_json(os);
-  }
-  {
-    std::ofstream os(p + ".summary.json");
-    dashboard_.write_summary_json(os);
-  }
+  // Artifacts are written atomically (temp + rename): a crash mid-flush —
+  // or a dashboard scraping concurrently — never sees a half-written file.
+  const auto write_atomic = [&](const char* suffix, auto&& emit) {
+    std::ostringstream os;
+    emit(os);
+    util::atomic_write_file(p + suffix, os.str());
+  };
+  write_atomic(".metrics.json",
+               [&](std::ostream& os) { metrics_.write_json(os); });
+  write_atomic(".metrics.prom",
+               [&](std::ostream& os) { metrics_.write_prometheus(os); });
+  write_atomic(".dashboard.json",
+               [&](std::ostream& os) { dashboard_.write_json(os); });
+  write_atomic(".summary.json",
+               [&](std::ostream& os) { dashboard_.write_summary_json(os); });
   if (trace_file_) trace_file_->flush();
   if (journal_file_) journal_file_->flush();
+}
+
+TelemetrySink::JournalPosition TelemetrySink::journal_position() {
+  JournalPosition pos;
+  if (!journal_) return pos;
+  pos.events = journal_->event_count();
+  if (journal_file_) {
+    journal_file_->flush();
+    const auto p = journal_file_->tellp();
+    pos.byte_offset = p < 0 ? 0 : static_cast<std::uint64_t>(p);
+  } else {
+    pos.byte_offset = journal_buffer_.str().size();
+  }
+  return pos;
 }
 
 std::string TelemetrySink::trace_text() const { return trace_buffer_.str(); }

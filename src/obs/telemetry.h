@@ -54,6 +54,15 @@ struct TelemetryConfig {
   /// <prefix>.summary.json and (with journal) <prefix>.journal.jsonl.
   /// When empty, the trace accumulates in memory (see trace_text()).
   std::string artifact_prefix;
+  /// Checkpoint/resume continuation of an existing <prefix>.journal.jsonl:
+  /// the file is truncated to `journal_resume_offset` bytes (discarding any
+  /// partial tail from the crashed process), reopened in append mode, and
+  /// the journal continues counting from `journal_resume_events` with no new
+  /// run_start line — so the resumed file reads as ONE uninterrupted run.
+  /// Both values come from the checkpoint (fl::peek_checkpoint).
+  bool journal_resume = false;
+  std::uint64_t journal_resume_offset = 0;
+  std::uint64_t journal_resume_events = 0;
 };
 
 class TelemetrySink {
@@ -174,6 +183,17 @@ class TelemetrySink {
   std::string trace_text() const;
   /// In-memory journal contents (only when no artifact prefix was given).
   std::string journal_text() const;
+
+  /// Current journal position for checkpointing: the durable byte offset of
+  /// the journal file (flushed first) and the number of events committed so
+  /// far. {0, 0} when the journal is off. A checkpoint stores this pair so a
+  /// resumed process can truncate the file past any torn tail and continue
+  /// the event stream exactly where the snapshot left it.
+  struct JournalPosition {
+    std::uint64_t byte_offset = 0;
+    std::uint64_t events = 0;
+  };
+  JournalPosition journal_position();
 
  private:
   /// Stamps shared by every journal event: current cycle as the round id

@@ -1,7 +1,9 @@
 #include "sim/churn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "fl/transport.h"
 #include "obs/telemetry.h"
@@ -90,6 +92,7 @@ RoundChurn ChurnProcess::step(fl::Fleet& fleet, int cycle) {
            static_cast<int>(fleet.size()) < cap) {
       const int index = static_cast<int>(fleet.size());
       fl::Client& joiner = add_device(fleet, pop_, index);
+      joined_indices_.push_back(index);
       if (options_.admit_arrivals) manager_.admit(fleet, joiner.id());
       if (options_.mean_lifetime_s > 0.0) {
         const double life = lifetime(joiner.id());
@@ -113,6 +116,48 @@ RoundChurn ChurnProcess::step(fl::Fleet& fleet, int cycle) {
                       static_cast<int>(churn.departed.size()), fleet.size());
   }
   return churn;
+}
+
+void ChurnProcess::save_state(const fl::Fleet& fleet,
+                              fl::CheckpointWriter& w) const {
+  (void)fleet;
+  w.rng(arrival_rng_.state());
+  w.f64(next_arrival_s_);
+  // unordered_map iteration order is not deterministic; serialize sorted.
+  std::vector<int> ids;
+  ids.reserve(death_at_.size());
+  for (const auto& [id, at] : death_at_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (int id : ids) {
+    w.i32(id);
+    w.f64(death_at_.at(id));
+  }
+  w.vec_i32(joined_indices_);
+}
+
+void ChurnProcess::load_state(fl::Fleet& fleet, fl::CheckpointReader& r) {
+  arrival_rng_ = util::Rng::from_state(r.rng());
+  next_arrival_s_ = r.f64();
+  death_at_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int id = r.i32();
+    death_at_[id] = r.f64();
+  }
+  joined_indices_ = r.vec_i32();
+  // Replay the joins into the rebuilt fleet (which holds only the initial
+  // population). Admission is skipped: the snapshot's per-client section
+  // overwrites straggler/volume/active flags right after this.
+  for (int index : joined_indices_) {
+    if (index < static_cast<int>(fleet.size())) continue;
+    if (index != static_cast<int>(fleet.size())) {
+      throw fl::CheckpointError(
+          "ChurnProcess: joiner index " + std::to_string(index) +
+          " does not extend the rebuilt fleet contiguously");
+    }
+    add_device(fleet, pop_, index);
+  }
 }
 
 }  // namespace helios::sim

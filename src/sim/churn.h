@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/scalability.h"
+#include "fl/checkpoint.h"
 #include "sim/population.h"
 
 namespace helios::sim {
@@ -50,7 +51,7 @@ struct RoundChurn {
   std::vector<int> departed;  ///< client ids deactivated this step
 };
 
-class ChurnProcess {
+class ChurnProcess : public fl::Checkpointable {
  public:
   /// The generator supplies joiner device specs (indices beyond the initial
   /// fleet) and must outlive the process.
@@ -68,6 +69,15 @@ class ChurnProcess {
   /// joined/seen).
   double death_time(int id) const;
 
+  /// Checkpointable: snapshot = (arrival-stream RNG position, pending
+  /// arrival time, departure schedule, joiner indices). load_state re-adds
+  /// the joiners to the rebuilt fleet — BEFORE the checkpoint's per-client
+  /// section loads, so the roster matches — skipping admission (the
+  /// snapshotted client flags land afterwards anyway).
+  void save_state(const fl::Fleet& fleet, fl::CheckpointWriter& w)
+      const override;
+  void load_state(fl::Fleet& fleet, fl::CheckpointReader& r) override;
+
  private:
   double lifetime(int id) const;
   double next_exponential(double mean);
@@ -78,6 +88,9 @@ class ChurnProcess {
   core::ScalabilityManager manager_;
   double next_arrival_s_ = -1.0;  ///< lazily initialized on first step
   std::unordered_map<int, double> death_at_;
+  /// Population indices of devices this process added mid-run, in join
+  /// order (what load_state replays into a rebuilt fleet).
+  std::vector<int> joined_indices_;
 };
 
 }  // namespace helios::sim

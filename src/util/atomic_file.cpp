@@ -1,0 +1,101 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace helios::util {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+#if !defined(_WIN32)
+/// fsync the directory containing `path` so the rename is durable. Failure
+/// is ignored: some filesystems refuse O_RDONLY directory fds, and the
+/// rename's atomicity (our torn-file guarantee) does not depend on it.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+#if defined(_WIN32)
+  // No POSIX rename-over semantics; fall back to remove + rename. Still a
+  // far smaller torn-write window than streaming into the destination.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) fail("cannot open temp for", path);
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) != contents.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail("short write for", path);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    fail("close failed for", path);
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename failed for", path);
+  }
+#else
+  // Temp name carries the pid so two processes replacing the same artifact
+  // concurrently never trample each other's in-flight temp.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp for", path);
+
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write failed for", path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync failed for", path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close failed for", path);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename failed for", path);
+  }
+  sync_parent_dir(path);
+#endif
+}
+
+}  // namespace helios::util

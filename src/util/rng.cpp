@@ -98,6 +98,22 @@ Rng Rng::fork(std::uint64_t stream) {
   return Rng(splitmix64(s));
 }
 
+RngState Rng::state() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_;
+  return s;
+}
+
+Rng Rng::from_state(const RngState& s) {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.state_[i] = s.words[i];
+  rng.cached_normal_ = s.cached_normal;
+  rng.has_cached_normal_ = s.has_cached_normal;
+  return rng;
+}
+
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) {

@@ -13,6 +13,23 @@
 
 namespace helios::util {
 
+/// Complete serialized position of an Rng stream. Includes the Box-Muller
+/// cache: normal() draws two uniforms and hands back the second on the next
+/// call, so a generator snapshotted between the two would otherwise be
+/// impossible to reconstruct mid-sequence from the xoshiro words alone.
+struct RngState {
+  std::uint64_t words[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState& a, const RngState& b) {
+    return a.words[0] == b.words[0] && a.words[1] == b.words[1] &&
+           a.words[2] == b.words[2] && a.words[3] == b.words[3] &&
+           a.cached_normal == b.cached_normal &&
+           a.has_cached_normal == b.has_cached_normal;
+  }
+};
+
 /// Deterministic pseudo-random generator (xoshiro256++).
 ///
 /// Not thread-safe; give each logical actor (client, dataset, selector) its
@@ -67,6 +84,13 @@ class Rng {
   /// Samples an index from an (unnormalized, non-negative) weight vector.
   /// Requires at least one strictly positive weight.
   std::size_t weighted_index(std::span<const double> weights);
+
+  /// Snapshot of the full stream position (checkpointing). A generator
+  /// restored via from_state() produces the identical future sequence,
+  /// including fork() children (fork reads state without advancing it).
+  RngState state() const;
+  /// Reconstructs a generator at exactly the snapshotted position.
+  static Rng from_state(const RngState& s);
 
  private:
   std::uint64_t state_[4];

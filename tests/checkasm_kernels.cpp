@@ -36,6 +36,7 @@
 #include "tensor/backend/dispatch.h"
 #include "tensor/backend/kernels.h"
 #include "tensor/tensor.h"
+#include "util/atomic_file.h"
 #include "util/rng.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -785,13 +786,16 @@ int run_bench(const std::string& out_path) {
     }
   }
 
-  std::ofstream os(out_path);
-  if (!os) {
-    std::cerr << "checkasm: cannot write " << out_path << "\n";
-    return 1;
-  }
+  std::ostringstream os;
   os << "{\n  \"schema\": 1,\n  \"scale\": \"" << scale << "\",\n"
      << "  \"cases\": [\n" << cases.str() << "\n  ]\n}\n";
+  try {
+    helios::util::atomic_write_file(out_path, os.str());
+  } catch (const std::exception& e) {
+    std::cerr << "checkasm: cannot write " << out_path << ": " << e.what()
+              << "\n";
+    return 1;
+  }
   std::cout << "[checkasm bench] wrote " << out_path << "\n";
   return 0;
 }

@@ -1,0 +1,327 @@
+// helios-crashtest — the fault-injection harness for checkpoint/resume.
+//
+// Forks the round loop and SIGKILLs it — at randomized round boundaries,
+// mid-checkpoint-write (a torn generation file lands on disk), and at
+// randomized wall-clock instants while rounds are in flight — then resumes
+// from whatever the dead process left behind and diffs the completed run,
+// byte for byte, against a golden uninterrupted run. Every trial must
+// produce an identical result file: identical per-round records and
+// identical final global parameters. Exit 0 when every trial matches.
+//
+//   helios-crashtest [--strategy NAME] [--cycles N] [--trials N]
+//                    [--seed S] [--dir PATH] [--keep]
+//
+//   --strategy   one of helios|sync|async|afo|random|static (default: sweep
+//                all six, --trials kills each)
+//   --cycles     rounds per run (default 8)
+//   --trials     randomized kills per strategy (default 4; the default
+//                sweep therefore injects 24 faults)
+//   --seed       RNG seed for kill-point randomization (default 1)
+//   --dir        scratch directory (default: a fresh dir under /tmp)
+//   --keep       leave the scratch directory behind for inspection
+//
+// Fork safety: the parent process never touches the fleet — every compute
+// phase (golden run, killed run, resumed run) happens in its own forked
+// child, so no thread pool or lock ever crosses a fork().
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/helios_strategy.h"
+#include "fl/afo.h"
+#include "fl/async.h"
+#include "fl/baselines.h"
+#include "fl/checkpoint.h"
+#include "fl/fleet.h"
+#include "fl/sync.h"
+#include "sim/population.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace helios;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::cerr << "usage: helios-crashtest [--strategy NAME] [--cycles N]"
+            << " [--trials N] [--seed S] [--dir PATH] [--keep]\n";
+  return 2;
+}
+
+std::unique_ptr<fl::Strategy> make_strategy(const std::string& kind) {
+  if (kind == "helios") {
+    return std::make_unique<core::HeliosStrategy>(core::HeliosConfig{});
+  }
+  if (kind == "sync") return std::make_unique<fl::SyncFL>();
+  if (kind == "async") return std::make_unique<fl::AsyncFL>();
+  if (kind == "afo") return std::make_unique<fl::Afo>();
+  if (kind == "random") return std::make_unique<fl::RandomSubmodel>();
+  if (kind == "static") return std::make_unique<fl::StaticPrune>();
+  throw std::invalid_argument("unknown strategy " + kind);
+}
+
+fl::Fleet make_fleet() {
+  const sim::PopulationGenerator pop(sim::paper_4dev());
+  return sim::build_fleet(pop);
+}
+
+/// Serializes a finished run for byte comparison: per-round records plus
+/// the final global parameters and buffers.
+void write_result(const std::string& path, const fl::RunResult& result,
+                  fl::Fleet& fleet) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  const auto u64 = [&](std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto f64 = [&](double v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  u64(result.rounds.size());
+  for (const fl::RoundRecord& r : result.rounds) {
+    u64(static_cast<std::uint64_t>(r.cycle));
+    f64(r.virtual_time);
+    f64(r.test_accuracy);
+    f64(r.mean_train_loss);
+    f64(r.upload_mb);
+  }
+  const std::vector<float>& global = fleet.server().global();
+  const std::vector<float>& buffers = fleet.server().global_buffers();
+  u64(global.size());
+  os.write(reinterpret_cast<const char*>(global.data()),
+           static_cast<std::streamsize>(global.size() * sizeof(float)));
+  u64(buffers.size());
+  os.write(reinterpret_cast<const char*>(buffers.data()),
+           static_cast<std::streamsize>(buffers.size() * sizeof(float)));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+enum class KillMode { kBoundary, kMidWrite, kTimed };
+
+const char* mode_name(KillMode m) {
+  switch (m) {
+    case KillMode::kBoundary: return "boundary";
+    case KillMode::kMidWrite: return "mid-write";
+    case KillMode::kTimed: return "timed";
+  }
+  return "?";
+}
+
+/// Child body: run the checkpointed round loop and die. Boundary mode
+/// SIGKILLs itself right after the round `kill_round` checkpoint landed;
+/// mid-write mode additionally leaves a torn next-generation file (what a
+/// kill during a non-atomic write would strand — latest_valid must skip
+/// it); timed mode just keeps looping (with a widened per-round window)
+/// until the parent's randomized SIGKILL arrives.
+[[noreturn]] void run_victim(const std::string& kind, int cycles,
+                             const std::string& base, KillMode mode,
+                             int kill_round) {
+  fl::Fleet fleet = make_fleet();
+  auto strategy = make_strategy(kind);
+  fl::CheckpointManager manager(base, /*keep_last=*/3);
+  fl::RunResult partial;
+  partial.method = strategy->name();
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    strategy->run_range(fleet, partial, cycle, cycle + 1);
+    const std::string path =
+        manager.save(fl::make_checkpoint_payload(fleet, strategy.get(), partial));
+    if (mode != KillMode::kTimed && cycle + 1 == kill_round) {
+      if (mode == KillMode::kMidWrite) {
+        const std::string good = slurp(path);
+        const std::vector<long> gens = manager.generations();
+        std::ofstream torn(manager.generation_path(gens.back() + 1),
+                           std::ios::binary | std::ios::trunc);
+        torn.write(good.data(),
+                   static_cast<std::streamsize>(good.size() / 2));
+        torn.flush();
+      }
+      raise(SIGKILL);
+    }
+    if (mode == KillMode::kTimed) usleep(2000);  // widen the kill window
+  }
+  _exit(0);  // timed kill arrived after the run finished — also a valid case
+}
+
+/// Child body: resume from whatever generations survived and run to
+/// completion (run_resumable starts from scratch when nothing survived —
+/// a kill before the first checkpoint must still reproduce the golden
+/// run). Writes the result file and exits 0.
+[[noreturn]] void run_verifier(const std::string& kind, int cycles,
+                               const std::string& base,
+                               const std::string& result_path) {
+  try {
+    fl::Fleet fleet = make_fleet();
+    auto strategy = make_strategy(kind);
+    fl::ResumableOptions opts;
+    opts.base_path = base;
+    opts.keep_last = 3;
+    const fl::RunResult result =
+        fl::run_resumable(fleet, *strategy, cycles, opts);
+    write_result(result_path, result, fleet);
+    _exit(0);
+  } catch (const std::exception& e) {
+    std::cerr << "verifier(" << kind << "): " << e.what() << "\n";
+    _exit(1);
+  }
+}
+
+/// Forks `body`; returns the child's wait status.
+template <typename Body>
+int forked(Body body, pid_t* pid_out = nullptr) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "fork failed\n";
+    exit(1);
+  }
+  if (pid == 0) {
+    body();   // [[noreturn]] bodies _exit below
+    _exit(0);
+  }
+  if (pid_out) {
+    *pid_out = pid;
+    return 0;  // caller kills + reaps
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> strategies = {"helios", "sync",   "async",
+                                         "afo",    "random", "static"};
+  int cycles = 8;
+  int trials = 4;
+  std::uint64_t seed = 1;
+  std::string dir;
+  bool keep = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << args[i] << " needs a value\n";
+        exit(usage());
+      }
+      return args[++i];
+    };
+    if (args[i] == "--strategy") {
+      strategies = {value()};
+    } else if (args[i] == "--cycles") {
+      cycles = std::stoi(value());
+    } else if (args[i] == "--trials") {
+      trials = std::stoi(value());
+    } else if (args[i] == "--seed") {
+      seed = std::stoull(value());
+    } else if (args[i] == "--dir") {
+      dir = value();
+    } else if (args[i] == "--keep") {
+      keep = true;
+    } else {
+      return usage();
+    }
+  }
+  if (cycles < 2) {
+    std::cerr << "--cycles must be >= 2\n";
+    return usage();
+  }
+
+  if (dir.empty()) {
+    dir = (fs::temp_directory_path() /
+           ("helios_crashtest_" + std::to_string(getpid())))
+              .string();
+  }
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  util::Rng rng(seed);
+  int failures = 0;
+  int ran = 0;
+
+  for (const std::string& kind : strategies) {
+    // Golden uninterrupted run, in its own child (fork safety, and the
+    // exact code path every trial's verifier takes).
+    const std::string golden_path = dir + "/" + kind + ".golden";
+    const int gstatus = forked([&] {
+      run_verifier(kind, cycles, dir + "/" + kind + ".golden_ck",
+                   golden_path);
+    });
+    if (!WIFEXITED(gstatus) || WEXITSTATUS(gstatus) != 0) {
+      std::cerr << "FAIL " << kind << ": golden run died\n";
+      ++failures;
+      continue;
+    }
+    const std::string golden = slurp(golden_path);
+
+    for (int t = 0; t < trials; ++t) {
+      const KillMode mode = static_cast<KillMode>(rng.uniform_int(3));
+      const int kill_round = 1 + rng.uniform_int(cycles - 1);
+      const std::string base =
+          dir + "/" + kind + ".t" + std::to_string(t) + "/ck";
+      fs::create_directories(fs::path(base).parent_path());
+
+      if (mode == KillMode::kTimed) {
+        pid_t victim = -1;
+        forked([&] { run_victim(kind, cycles, base, mode, 0); }, &victim);
+        usleep(static_cast<useconds_t>(rng.uniform_int(30000)));
+        kill(victim, SIGKILL);
+        int status = 0;
+        waitpid(victim, &status, 0);
+      } else {
+        const int status =
+            forked([&] { run_victim(kind, cycles, base, mode, kill_round); });
+        if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+          std::cerr << "FAIL " << kind << " trial " << t
+                    << ": victim did not die by SIGKILL\n";
+          ++failures;
+          continue;
+        }
+      }
+
+      const std::string result_path =
+          dir + "/" + kind + ".t" + std::to_string(t) + ".result";
+      const int vstatus =
+          forked([&] { run_verifier(kind, cycles, base, result_path); });
+      ++ran;
+      if (!WIFEXITED(vstatus) || WEXITSTATUS(vstatus) != 0) {
+        std::cerr << "FAIL " << kind << " trial " << t << " ("
+                  << mode_name(mode) << " @ round " << kill_round
+                  << "): resume crashed\n";
+        ++failures;
+        continue;
+      }
+      if (slurp(result_path) != golden) {
+        std::cerr << "FAIL " << kind << " trial " << t << " ("
+                  << mode_name(mode) << " @ round " << kill_round
+                  << "): resumed run differs from golden\n";
+        ++failures;
+      } else {
+        std::cout << "ok " << kind << " trial " << t << " ("
+                  << mode_name(mode) << " @ round " << kill_round << ")\n";
+      }
+    }
+  }
+
+  if (!keep) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  } else {
+    std::cout << "scratch kept at " << dir << "\n";
+  }
+  std::cout << ran << " fault trials, " << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}

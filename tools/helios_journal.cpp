@@ -14,6 +14,14 @@
 //       same per-device / percentile table a live run prints. --threshold
 //       overrides the per-device vs fleet-summary cutover.
 //
+//   helios-journal resume-check <run.journal.jsonl>
+//       Validates that a journal spanning one or more checkpoint resumes
+//       reads as a single seamless run: exactly one run_start, round events
+//       contiguous from 0 with no duplicates (a duplicate means a resume
+//       replayed a round the checkpoint already recorded; a gap means the
+//       journal was reopened at the wrong byte offset), and nothing after
+//       run_end. Exit 1 on any drift.
+//
 // Journals aggregate per device before summarizing, so recordings of the
 // same run at different thread counts (whose lines interleave differently)
 // summarize and diff as identical.
@@ -33,8 +41,67 @@ int usage() {
   std::cerr << "usage: helios-journal summary <run.journal.jsonl> [--json]\n"
             << "       helios-journal diff <a.jsonl> <b.jsonl>\n"
             << "       helios-journal replay <run.journal.jsonl>"
-            << " [--threshold N]\n";
+            << " [--threshold N]\n"
+            << "       helios-journal resume-check <run.journal.jsonl>\n";
   return 2;
+}
+
+/// The resume-check drift rules (see the header comment). Returns the
+/// number of problems found, printing each.
+int resume_check(const std::vector<obs::JournalEvent>& events) {
+  int problems = 0;
+  auto complain = [&](const std::string& what) {
+    std::cout << "DRIFT: " << what << "\n";
+    ++problems;
+  };
+  if (events.empty()) {
+    complain("journal is empty");
+    return problems;
+  }
+  int run_starts = 0;
+  int run_ends = 0;
+  bool after_end = false;
+  int next_round = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::JournalEvent& ev = events[i];
+    if (run_ends > 0 && !after_end && ev.type != "run_end") {
+      complain("event " + std::to_string(i) + " (" + ev.type +
+               ") after run_end");
+      after_end = true;  // report the first offender once
+    }
+    if (ev.type == "run_start") {
+      ++run_starts;
+      if (i != 0) {
+        complain("run_start at event " + std::to_string(i) +
+                 " (a resume must continue the journal, not restart it)");
+      }
+    } else if (ev.type == "run_end") {
+      ++run_ends;
+    } else if (ev.type == "round") {
+      if (ev.round == next_round) {
+        ++next_round;
+      } else if (ev.round < next_round) {
+        complain("duplicate round " + std::to_string(ev.round) +
+                 " (resume replayed an already-recorded round)");
+      } else {
+        complain("round gap: expected " + std::to_string(next_round) +
+                 ", found " + std::to_string(ev.round) +
+                 " (journal reopened at the wrong offset)");
+        next_round = ev.round + 1;
+      }
+    }
+  }
+  if (run_starts == 0) complain("no run_start event");
+  if (run_ends > 1) {
+    complain(std::to_string(run_ends) +
+             " run_end events (each resume must truncate the tail)");
+  }
+  if (next_round == 0) complain("no round events");
+  if (problems == 0) {
+    std::cout << "ok: " << events.size() << " events, rounds 0.."
+              << next_round - 1 << " contiguous, single run\n";
+  }
+  return problems;
 }
 
 std::vector<obs::JournalEvent> load(const std::string& path) {
@@ -69,6 +136,10 @@ int main(int argc, char** argv) {
       if (differing == 0) return 0;
       std::cout << differing << " field(s) differ\n";
       return 1;
+    }
+    if (cmd == "resume-check") {
+      if (args.size() < 2) return usage();
+      return resume_check(load(args[1])) == 0 ? 0 : 1;
     }
     if (cmd == "replay") {
       if (args.size() < 2) return usage();
