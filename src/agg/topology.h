@@ -1,0 +1,82 @@
+// Aggregator-tree topology: edge -> (regional ->) root.
+//
+// A TreeTopology places every device under an edge aggregator
+// (device_id % edge_nodes — stable under churn: a joiner lands on an edge
+// without moving anyone else), optionally groups edges under regional
+// aggregators (`fanout` edges per regional), and describes the simulated
+// uplink each merge frame crosses on its way to the root. edge_nodes == 0
+// disables the tree entirely (the flat single-server path); edge_nodes == 1
+// is a depth-2 tree whose single edge folds the whole cohort — bit-identical
+// to the flat path, because merging one accumulator into zero-initialized
+// accumulators is exact.
+//
+// Deadline semantics compose per tier: a merge frame that settles after the
+// tier's deadline is excluded from its parent's fold, and because merge
+// frames are weight-carrying (they ship the weight mass alongside the
+// weighted sums), the parent's finalization renormalizes over the arrivals
+// exactly — a late edge node renormalizes identically to a late device set.
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel.h"
+
+namespace helios::agg {
+
+struct TreeTopology {
+  /// Number of edge aggregators. 0 = tree disabled (flat aggregation).
+  int edge_nodes = 0;
+  /// Edges per regional aggregator. 0 (or >= edge_nodes) = no regional
+  /// tier: edges forward straight to the root (depth 2).
+  int fanout = 0;
+
+  /// Uplink carrying edge -> parent merge frames (bandwidth 0 = use
+  /// `link_bandwidth_mbps`). Loss/jitter draw from the tree's own forked
+  /// RNG streams, one per node, so outcomes are independent of device
+  /// traffic and of each other.
+  net::ChannelConfig edge_link;
+  /// Uplink carrying regional -> root merge frames (depth-3 trees only).
+  net::ChannelConfig regional_link;
+  /// Fallback uplink bandwidth (MB/s) when a link config leaves 0 —
+  /// aggregator nodes are infrastructure, not phones.
+  double link_bandwidth_mbps = 1000.0;
+
+  /// Tier deadlines, virtual seconds from round start (0 = none). A merge
+  /// frame settling after its tier's deadline is dropped from the parent
+  /// fold; the weight-carrying frames make the resulting renormalization
+  /// exact.
+  double edge_deadline_s = 0.0;
+  double root_deadline_s = 0.0;
+
+  /// Per-link retransmit policy (mirrors net::NetworkOptions).
+  int max_retries = 2;
+  double retry_backoff_s = 0.02;
+
+  /// Seed of the per-node link RNG streams: Rng(seed).fork(tier).fork(node).
+  std::uint64_t seed = 97;
+
+  bool active() const { return edge_nodes > 0; }
+  /// Number of regional aggregators (0 = edges feed the root directly).
+  int regional_nodes() const {
+    return (fanout > 0 && fanout < edge_nodes)
+               ? (edge_nodes + fanout - 1) / fanout
+               : 0;
+  }
+  /// Tree depth counting the root: 1 = flat, 2 = edge->root,
+  /// 3 = edge->regional->root.
+  int depth() const {
+    if (!active()) return 1;
+    return regional_nodes() > 0 ? 3 : 2;
+  }
+  /// The edge aggregator serving `device_id` — a pure function of the id,
+  /// so placement survives churn and checkpoint/resume without bookkeeping.
+  int edge_of(int device_id) const {
+    const int e = device_id % edge_nodes;
+    return e < 0 ? e + edge_nodes : e;
+  }
+  int regional_of(int edge) const {
+    return regional_nodes() > 0 ? edge / fanout : 0;
+  }
+};
+
+}  // namespace helios::agg

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "fl/hierarchy.h"
 #include "fl/transport.h"
 #include "obs/telemetry.h"
 
@@ -112,12 +113,34 @@ void HeliosStrategy::run_range(fl::Fleet& fleet, fl::RunResult& result,
     // state away from what actually aggregated. In the extreme case — the
     // whole cohort lost before the deadline — the round must close as a
     // clean no-op (Server::aggregate already skips an empty span).
+    // With an aggregator tree attached, the U^ij statistics are computed by
+    // the edge nodes while folding (stage_bookkeeping arms that), so the
+    // aggregation runs first and the loop below adopts each device's
+    // root-merged shard — bit-identical to computing it here, because the
+    // edges run agg::neuron_change_means on the decoded (bit-exact) params
+    // against the same base snapshot. Devices are partitioned across edges,
+    // so the root's merge of the shards is an exact disjoint union, and the
+    // C_s rotation counters stay per-device (disjoint by construction).
+    fl::HierarchySession* hier = fleet.hierarchy();
+    const bool sharded_bookkeeping = hier != nullptr && hier->active();
+    if (sharded_bookkeeping) {
+      hier->stage_bookkeeping(global_before);
+      fleet.server().aggregate(net.aggregate_span(updates), opts);
+    }
     for (std::size_t i = 0; i < plan.size(); ++i) {
       if (plan[i].mask.empty()) continue;
       if (!net.pass_through && !net.delivered[i]) continue;
       StragglerState& st = state_for(*plan[i].client);
-      st.trainer->update_contributions(global_before, updates[i].params,
-                                       plan[i].mask);
+      const std::vector<double>* shard =
+          sharded_bookkeeping
+              ? hier->contributions_for(plan[i].client->id())
+              : nullptr;
+      if (shard != nullptr) {
+        st.trainer->apply_contributions(plan[i].mask, *shard);
+      } else {
+        st.trainer->update_contributions(global_before, updates[i].params,
+                                         plan[i].mask);
+      }
       st.regulator->record_cycle(plan[i].mask);
       if (tel) {
         // Skipped-cycle distribution: neurons with C_s = 0 / 1 / 2 / >= 3.
@@ -130,7 +153,9 @@ void HeliosStrategy::run_range(fl::Fleet& fleet, fl::RunResult& result,
         tel->record_rotation(plan[i].client->id(), plan[i].forced, cs);
       }
     }
-    fleet.server().aggregate(net.aggregate_span(updates), opts);
+    if (!sharded_bookkeeping) {
+      fleet.server().aggregate(net.aggregate_span(updates), opts);
+    }
 
     // Phase 4: pace adaptation during the first cycles (Sec. V-A Step 1 —
     // "Helios needs first few training cycles to finalize the stragglers

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "agg/accumulator.h"
 #include "obs/trace.h"
 
 namespace helios::core {
@@ -112,20 +113,28 @@ void SoftTrainer::update_contributions(
   if (!trained_mask.empty() && trained_mask.size() != u_.size()) {
     throw std::invalid_argument("update_contributions: bad mask size");
   }
+  // The shared agg-layer statistic: the same slice order and double sums the
+  // inline loop used, so the refactor is bit-identical — and edge aggregators
+  // computing shards remotely match this trainer exactly.
+  const std::vector<double> means =
+      agg::neuron_change_means(neurons_, before, after, trained_mask);
   for (std::size_t j = 0; j < neurons_.size(); ++j) {
     if (!trained_mask.empty() && !trained_mask[j]) continue;
-    double change = 0.0;
-    std::size_t params = 0;
-    for (const nn::FlatSlice& s : neurons_[j].slices) {
-      if (s.offset + s.length > before.size()) {
-        throw std::out_of_range("update_contributions: slice out of range");
-      }
-      for (std::size_t f = s.offset; f < s.offset + s.length; ++f) {
-        change += std::fabs(static_cast<double>(after[f]) - before[f]);
-      }
-      params += s.length;
-    }
-    u_[j] = params > 0 ? change / static_cast<double>(params) : 0.0;
+    u_[j] = means[j];
+  }
+}
+
+void SoftTrainer::apply_contributions(std::span<const std::uint8_t> trained_mask,
+                                      std::span<const double> values) {
+  if (values.size() != u_.size()) {
+    throw std::invalid_argument("apply_contributions: size mismatch");
+  }
+  if (!trained_mask.empty() && trained_mask.size() != u_.size()) {
+    throw std::invalid_argument("apply_contributions: bad mask size");
+  }
+  for (std::size_t j = 0; j < u_.size(); ++j) {
+    if (!trained_mask.empty() && !trained_mask[j]) continue;
+    u_[j] = values[j];
   }
 }
 

@@ -436,9 +436,16 @@ std::string make_checkpoint_payload(Fleet& fleet, const Strategy* strategy,
     w.i32(c.cycles_completed());
     w.f32(c.config().proximal_mu);
     w.boolean(c.materialized());
-    w.rng(c.loader().rng_state());
-    w.vec_size(c.loader().order());
-    w.u64(static_cast<std::uint64_t>(c.loader().cursor()));
+    // Loader state is gated on validity: a fresh lazy client has no loader
+    // yet (it is a pure function of the seed, rebuilt on first use), so
+    // nothing needs to travel.
+    const Client::LoaderState ls = c.loader_state();
+    w.boolean(ls.valid);
+    if (ls.valid) {
+      w.rng(ls.rng);
+      w.vec_size(ls.order);
+      w.u64(static_cast<std::uint64_t>(ls.cursor));
+    }
     w.vec_f32(c.optimizer().velocity());
   }
 
@@ -579,10 +586,12 @@ RunResult restore_checkpoint_payload(Fleet& fleet, Strategy* strategy,
     c.set_cycles_completed(r.i32());
     c.set_proximal_mu(r.f32());
     const bool materialized = r.boolean();
-    const util::RngState loader_rng = r.rng();
-    std::vector<std::size_t> order = r.vec_size();
-    const std::size_t cursor = static_cast<std::size_t>(r.u64());
-    c.loader().restore(loader_rng, std::move(order), cursor);
+    if (r.boolean()) {
+      const util::RngState loader_rng = r.rng();
+      std::vector<std::size_t> order = r.vec_size();
+      const std::size_t cursor = static_cast<std::size_t>(r.u64());
+      c.restore_loader_state(loader_rng, std::move(order), cursor);
+    }
     c.optimizer().set_velocity(r.vec_f32());
     // Only the flag is restored: parameters are overwritten at cycle start.
     if (materialized) {

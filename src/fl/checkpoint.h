@@ -53,7 +53,9 @@ class CheckpointError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: per-client loader state gained a validity gate (lazy-data clients can
+// be snapshotted while data-hibernated, with no loader built yet).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Little-endian binary encoder for checkpoint payloads. All multi-byte
 /// values are explicitly little-endian, so a snapshot is portable across

@@ -24,9 +24,24 @@ Client::Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
       profile_(std::move(profile)),
       spec_(spec),
       opt_(config.lr, config.momentum, 0.0F, config.grad_clip),
-      loader_(data_, config.batch_size, util::Rng(config.seed).fork(0x10AD)) {
+      loader_(std::make_unique<data::DataLoader>(
+          data_, config.batch_size, util::Rng(config.seed).fork(0x10AD))) {
   if (!profile_.valid()) throw std::invalid_argument("Client: invalid profile");
   data_.validate();
+}
+
+Client::Client(int id, const models::ModelSpec& spec, DataFactory data_factory,
+               std::size_t nominal_samples, ClientConfig config,
+               device::ResourceProfile profile)
+    : id_(id),
+      data_factory_(std::move(data_factory)),
+      nominal_samples_(nominal_samples),
+      config_(config),
+      profile_(std::move(profile)),
+      spec_(spec),
+      opt_(config.lr, config.momentum, 0.0F, config.grad_clip) {
+  if (!profile_.valid()) throw std::invalid_argument("Client: invalid profile");
+  if (!data_factory_) throw std::invalid_argument("Client: null data factory");
 }
 
 nn::Model& Client::ensure_model() {
@@ -48,13 +63,75 @@ nn::Model& Client::estimation_model() {
   return ensure_model();
 }
 
+data::DataLoader& Client::ensure_data() {
+  if (loader_) return *loader_;
+  if (data_factory_ && data_.size() == 0) {
+    data_ = data_factory_();
+    data_.validate();
+  }
+  // Same RNG stream as the eager constructor, so a lazy client's first epoch
+  // order is bit-identical to an eager one's.
+  loader_ = std::make_unique<data::DataLoader>(
+      data_, config_.batch_size, util::Rng(config_.seed).fork(0x10AD));
+  if (stash_.valid) {
+    loader_->restore(stash_.rng, std::move(stash_.order), stash_.cursor);
+    stash_ = LoaderState{};
+  }
+  return *loader_;
+}
+
+std::size_t Client::num_samples() const {
+  if (loader_ || !data_factory_) return static_cast<std::size_t>(data_.size());
+  // Data-hibernated: a stashed epoch order carries the exact shard size;
+  // before first materialization only the nominal size is known.
+  if (stash_.valid) return stash_.order.size();
+  return nominal_samples_;
+}
+
+Client::LoaderState Client::loader_state() const {
+  LoaderState s;
+  if (loader_) {
+    s.rng = loader_->rng_state();
+    s.order = loader_->order();
+    s.cursor = loader_->cursor();
+    s.valid = true;
+  } else if (stash_.valid) {
+    s = stash_;
+  }
+  return s;
+}
+
+void Client::restore_loader_state(const util::RngState& rng,
+                                  std::vector<std::size_t> order,
+                                  std::size_t cursor) {
+  if (loader_) {
+    loader_->restore(rng, std::move(order), cursor);
+    return;
+  }
+  stash_.rng = rng;
+  stash_.order = std::move(order);
+  stash_.cursor = cursor;
+  stash_.valid = true;
+}
+
 void Client::hibernate() {
-  if (!model_) return;
   // Momentum velocity is cross-cycle optimizer state; releasing it would
   // silently change training. Memory-bounded fleets require momentum == 0.
   if (config_.momentum != 0.0F) return;
-  model_.reset();
-  opt_ = nn::Sgd(config_.lr, config_.momentum, 0.0F, config_.grad_clip);
+  if (model_) {
+    model_.reset();
+    opt_ = nn::Sgd(config_.lr, config_.momentum, 0.0F, config_.grad_clip);
+  }
+  if (data_factory_ && loader_) {
+    // Stash the loader's cross-epoch state so re-materialization resumes the
+    // identical shuffle stream, then drop the shard.
+    stash_.rng = loader_->rng_state();
+    stash_.order = loader_->order();
+    stash_.cursor = loader_->cursor();
+    stash_.valid = true;
+    loader_.reset();
+    data_ = data::Dataset{};
+  }
 }
 
 std::size_t Client::replica_bytes() const {
@@ -76,6 +153,7 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
   HELIOS_TRACE_SPAN("client.run_cycle", {{"device", id_}});
   if (telemetry_) telemetry_->set_device(id_);
   nn::Model& model = ensure_model();
+  data::DataLoader& loader = ensure_data();
   opt_.set_lr(current_lr());
   model.load_params(global_params);
   model.load_buffers(global_buffers);
@@ -92,11 +170,11 @@ ClientUpdate Client::run_cycle(std::span<const float> global_params,
     HELIOS_TRACE_SPAN("client.train",
                       {{"device", id_}, {"epochs", config_.local_epochs}});
     for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
-      loader_.reset();
+      loader.reset();
       const int per_epoch = std::max(
-          1, static_cast<int>(loader_.batches_per_epoch() * work_scale));
+          1, static_cast<int>(loader.batches_per_epoch() * work_scale));
       for (int b = 0; b < per_epoch; ++b) {
-        data::Batch batch = loader_.next();
+        data::Batch batch = loader.next();
         const nn::StepResult step = local_step(batch, global_params);
         loss_sum += step.loss;
         ++batches;
@@ -185,7 +263,7 @@ double Client::estimate_cycle_seconds(
     model.set_neuron_mask(neuron_mask);
   }
   const device::WorkloadEstimate workload = device::estimate_workload(
-      model, data_.size(), config_.local_epochs);
+      model, static_cast<int>(num_samples()), config_.local_epochs);
   model.clear_neuron_mask();
   return device::total_cycle_seconds(profile_, workload);
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -68,6 +69,21 @@ class Client {
   Client(int id, const models::ModelSpec& spec, data::Dataset local_data,
          ClientConfig config, device::ResourceProfile profile);
 
+  /// Deterministic local-dataset builder for lazy clients: called (possibly
+  /// repeatedly, after hibernations) to materialize the shard, so it must be
+  /// a pure function — same dataset bytes every call.
+  using DataFactory = std::function<data::Dataset()>;
+
+  /// Lazy-data variant: the local dataset materializes on first use (like
+  /// the model replica) and hibernate() releases it again, so a
+  /// population-scale fleet of mostly-unsampled clients holds no sample
+  /// memory either. `nominal_samples` is the shard size used for analytic
+  /// planning while no data is live (the factory's actual size takes over
+  /// once known).
+  Client(int id, const models::ModelSpec& spec, DataFactory data_factory,
+         std::size_t nominal_samples, ClientConfig config,
+         device::ResourceProfile profile);
+
   /// One local training cycle: load the global parameters and buffers,
   /// install the submodel mask (empty = full model), run `local_epochs`
   /// epochs of SGD, and return the update together with its virtual-time
@@ -88,8 +104,13 @@ class Client {
 
   int id() const { return id_; }
   const device::ResourceProfile& profile() const { return profile_; }
+  /// The live local dataset. Empty while a lazy client is data-hibernated;
+  /// callers that only need the shard size should use num_samples().
   const data::Dataset& dataset() const { return data_; }
-  std::size_t num_samples() const { return static_cast<std::size_t>(data_.size()); }
+  /// Shard size for planning: the live dataset's size when materialized (or
+  /// once the exact size is known from a stashed epoch order), else the
+  /// nominal size the lazy factory was registered with.
+  std::size_t num_samples() const;
   /// The live model replica; materializes it if the client is hibernated.
   nn::Model& model();
   const ClientConfig& config() const { return config_; }
@@ -150,9 +171,21 @@ class Client {
   /// (shuffle RNG + epoch order + cursor) and the optimizer (momentum
   /// velocity). Model replica parameters are NOT checkpointed — they are
   /// overwritten by the global snapshot at every cycle start, so only the
-  /// materialized flag matters.
-  data::DataLoader& loader() { return loader_; }
-  const data::DataLoader& loader() const { return loader_; }
+  /// materialized flag matters. Loader state is exposed as a value snapshot
+  /// (not the loader itself) so a lazy, data-hibernated client can be
+  /// checkpointed and restored without materializing its shard.
+  struct LoaderState {
+    util::RngState rng{};
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+    /// False when the client has never run (fresh lazy client): the loader
+    /// will be built deterministically from the seed on first use, so there
+    /// is nothing to snapshot.
+    bool valid = false;
+  };
+  LoaderState loader_state() const;
+  void restore_loader_state(const util::RngState& rng,
+                            std::vector<std::size_t> order, std::size_t cursor);
   nn::Sgd& optimizer() { return opt_; }
   const nn::Sgd& optimizer() const { return opt_; }
 
@@ -165,15 +198,23 @@ class Client {
   nn::StepResult local_step(const data::Batch& batch,
                             std::span<const float> global_params);
   nn::Model& ensure_model();
+  /// Materializes the local dataset (lazy clients) and/or the loader, and
+  /// re-applies any stashed loader state. Returns the live loader.
+  data::DataLoader& ensure_data();
 
   int id_;
   data::Dataset data_;
+  DataFactory data_factory_;  // non-empty => lazy-data client
+  std::size_t nominal_samples_ = 0;
   ClientConfig config_;
   device::ResourceProfile profile_;
   models::ModelSpec spec_;
   std::unique_ptr<nn::Model> model_;
   nn::Sgd opt_;
-  data::DataLoader loader_;
+  std::unique_ptr<data::DataLoader> loader_;
+  /// Loader state carried across data hibernations (and checkpoint restores
+  /// into a hibernated client) so re-materialization is bit-identical.
+  LoaderState stash_;
   nn::Model* estimation_model_ = nullptr;
   std::size_t expected_params_ = 0;
   bool straggler_ = false;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "fl/hierarchy.h"
 #include "obs/telemetry.h"
 #include "tensor/backend/dispatch.h"
 
@@ -31,6 +33,7 @@ Fleet::Fleet(Fleet&& other) noexcept
       clock_(other.clock_),
       telemetry_(other.telemetry_),
       network_(other.network_),
+      hierarchy_(other.hierarchy_),
       sampler_(other.sampler_),
       checkpointables_(std::move(other.checkpointables_)),
       next_id_(other.next_id_) {
@@ -46,6 +49,7 @@ Fleet& Fleet::operator=(Fleet&& other) noexcept {
   clock_ = other.clock_;
   telemetry_ = other.telemetry_;
   network_ = other.network_;
+  hierarchy_ = other.hierarchy_;
   sampler_ = other.sampler_;
   checkpointables_ = std::move(other.checkpointables_);
   next_id_ = other.next_id_;
@@ -66,6 +70,25 @@ Client& Fleet::add_client(data::Dataset local_data, ClientConfig config,
   client->set_telemetry(telemetry_);
   clients_.push_back(std::move(client));
   return *clients_.back();
+}
+
+Client& Fleet::add_client(Client::DataFactory data_factory,
+                          std::size_t nominal_samples, ClientConfig config,
+                          device::ResourceProfile profile) {
+  auto client = std::make_unique<Client>(next_id_++, spec_,
+                                         std::move(data_factory),
+                                         nominal_samples, config,
+                                         std::move(profile));
+  client->set_expected_params(server_.param_count());
+  client->set_estimation_model(&server_.reference_model());
+  client->set_telemetry(telemetry_);
+  clients_.push_back(std::move(client));
+  return *clients_.back();
+}
+
+void Fleet::set_hierarchy(HierarchySession* session) {
+  hierarchy_ = session;
+  server_.set_hierarchy(session);
 }
 
 void Fleet::set_telemetry(obs::TelemetrySink* sink) {
@@ -98,8 +121,14 @@ std::vector<Client*> Fleet::round_roster(int round, bool hibernate_unsampled) {
   std::vector<Client*> active = active_clients();
   if (!sampler_) return active;
   std::vector<Client*> cohort = sampler_->sample(active, round);
+  // Hash-set membership: the linear std::find scan was O(active * cohort),
+  // which dominated round setup at population scale (100k active, 1k
+  // cohort). The cohort need not be a subsequence of `active` (empty-cohort
+  // fallbacks), so a set is the right structure.
+  const std::unordered_set<const Client*> in_cohort(cohort.begin(),
+                                                    cohort.end());
   for (Client* c : active) {
-    if (std::find(cohort.begin(), cohort.end(), c) == cohort.end()) {
+    if (in_cohort.find(c) == in_cohort.end()) {
       if (telemetry_) {
         telemetry_->record_device_skipped(round, c->id(), /*dead=*/false);
       }

@@ -20,6 +20,7 @@ class TelemetrySink;
 namespace helios::fl {
 
 class NetworkSession;
+class HierarchySession;
 class Strategy;
 struct RunResult;
 class Checkpointable;
@@ -57,6 +58,14 @@ class Fleet {
 
   /// Adds a client owning `local_data`; returns it for further setup.
   Client& add_client(data::Dataset local_data, ClientConfig config,
+                     device::ResourceProfile profile);
+
+  /// Lazy-data variant: the client materializes its shard from
+  /// `data_factory` on first training use and releases it again when
+  /// hibernated, so an unsampled client holds no sample memory (see
+  /// Client's lazy constructor).
+  Client& add_client(Client::DataFactory data_factory,
+                     std::size_t nominal_samples, ClientConfig config,
                      device::ResourceProfile profile);
 
   std::size_t size() const { return clients_.size(); }
@@ -133,6 +142,12 @@ class Fleet {
   void set_network(NetworkSession* session) { network_ = session; }
   NetworkSession* network() const { return network_; }
 
+  /// Attached aggregator-tree session (nullptr = flat single-server
+  /// aggregation). Set by HierarchySession's constructor; the fleet does
+  /// not own it. Also threads the session into the server's aggregate path.
+  void set_hierarchy(HierarchySession* session);
+  HierarchySession* hierarchy() const { return hierarchy_; }
+
   // -- Checkpoint / resume ---------------------------------------------------
   // (Implemented in checkpoint.cpp; see fl/checkpoint.h for the contract.)
 
@@ -164,6 +179,7 @@ class Fleet {
   device::VirtualClock clock_;
   obs::TelemetrySink* telemetry_ = nullptr;
   NetworkSession* network_ = nullptr;
+  HierarchySession* hierarchy_ = nullptr;
   const RosterSampler* sampler_ = nullptr;
   std::vector<std::pair<std::string, Checkpointable*>> checkpointables_;
   int next_id_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fl/hierarchy.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -10,13 +11,7 @@ namespace helios::fl {
 Server::Server(nn::Model reference) : model_(std::move(reference)) {
   global_ = model_.params_flat();
   buffers_ = model_.buffers_flat();
-  neuron_owned_.assign(global_.size(), 0);
-  for (const nn::NeuronInfo& n : model_.neurons()) {
-    for (const nn::FlatSlice& s : n.slices) {
-      std::fill_n(neuron_owned_.begin() + static_cast<std::ptrdiff_t>(s.offset),
-                  s.length, std::uint8_t{1});
-    }
-  }
+  geometry_ = agg::make_geometry(model_);
 }
 
 void Server::set_global(std::vector<float> params) {
@@ -39,7 +34,6 @@ void Server::aggregate(std::span<const ClientUpdate> updates,
   HELIOS_TRACE_SPAN("server.aggregate", {{"updates", updates.size()}});
   const std::size_t p = global_.size();
   const int m = neuron_total();
-  const auto& neurons = model_.neurons();
 
   // alpha_n = r_n / sum r (Eq. 10); uniform when the option is off. The
   // per-index normalization below divides by the sum of participating
@@ -91,57 +85,32 @@ void Server::aggregate(std::span<const ClientUpdate> updates,
     }
   }
 
-  std::vector<double> acc(p, 0.0);
-  std::vector<double> den(p, 0.0);
-  std::vector<std::uint8_t> allowed(p);
+  std::vector<agg::FoldWeights> weights(updates.size());
   for (std::size_t i = 0; i < updates.size(); ++i) {
-    const ClientUpdate& u = updates[i];
-    if (u.trained_mask.empty() || !opts.per_neuron_merge) {
-      std::fill(allowed.begin(), allowed.end(), std::uint8_t{1});
-    } else {
-      // Common (non-neuron) parameters are always trained; neuron-owned
-      // parameters only when their neuron was in this cycle's submodel.
-      for (std::size_t f = 0; f < p; ++f) allowed[f] = !neuron_owned_[f];
-      for (int j = 0; j < m; ++j) {
-        if (!u.trained_mask[static_cast<std::size_t>(j)]) continue;
-        for (const nn::FlatSlice& s : neurons[static_cast<std::size_t>(j)].slices) {
-          std::fill_n(allowed.begin() + static_cast<std::ptrdiff_t>(s.offset),
-                      s.length, std::uint8_t{1});
-        }
-      }
-    }
-    for (std::size_t f = 0; f < p; ++f) {
-      if (!allowed[f]) continue;
-      const double w = neuron_owned_[f] ? neuron_w[i] : common_w[i];
-      acc[f] += w * u.params[f];
-      den[f] += w;
-    }
-  }
-  for (std::size_t f = 0; f < p; ++f) {
-    if (den[f] > 0.0) global_[f] = static_cast<float>(acc[f] / den[f]);
+    weights[i] = {common_w[i], neuron_w[i]};
   }
 
-  // Buffers (BatchNorm statistics) are plain weighted averages; they are not
-  // neuron-indexed, so every participating client contributes everywhere.
-  if (!buffers_.empty()) {
-    std::vector<double> bacc(buffers_.size(), 0.0);
-    double bden = 0.0;
-    for (std::size_t i = 0; i < updates.size(); ++i) {
-      const ClientUpdate& u = updates[i];
-      if (u.buffers.size() != buffers_.size()) {
-        throw std::invalid_argument("Server::aggregate: buffer size mismatch");
-      }
-      for (std::size_t f = 0; f < buffers_.size(); ++f) {
-        bacc[f] += common_w[i] * u.buffers[f];
-      }
-      bden += common_w[i];
-    }
-    if (bden > 0.0) {
-      for (std::size_t f = 0; f < buffers_.size(); ++f) {
-        buffers_[f] = static_cast<float>(bacc[f] / bden);
-      }
-    }
+  // With an active aggregator tree attached, the accumulation happens at
+  // the tree's edge nodes and collapses through weight-carrying merge
+  // frames; a single-edge tree is bit-identical to the inline fold below.
+  if (hierarchy_ != nullptr && hierarchy_->active()) {
+    hierarchy_->aggregate(updates, weights, opts.per_neuron_merge, global_,
+                          buffers_);
+    return;
   }
+
+  // Flat path: one streaming accumulator folds every update in input order
+  // — the same per-index sums and final float cast the pre-streaming
+  // nested loops computed. Buffers (BatchNorm statistics) are plain
+  // weighted averages under the common weight; they are not neuron-indexed,
+  // so every participating client contributes everywhere.
+  agg::StreamingAccumulator acc(&geometry_);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ClientUpdate& u = updates[i];
+    acc.fold({u.client_id, u.params, u.buffers, u.trained_mask}, weights[i],
+             opts.per_neuron_merge);
+  }
+  acc.finalize(global_, buffers_);
 }
 
 void Server::mix(const ClientUpdate& update, double alpha) {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "agg/accumulator.h"
 #include "data/dataset.h"
 #include "fl/client.h"
 #include "nn/model.h"
@@ -14,6 +15,8 @@ class TelemetrySink;
 }
 
 namespace helios::fl {
+
+class HierarchySession;
 
 struct AggOptions {
   /// Weight updates by local sample counts (FedAvg).
@@ -83,13 +86,23 @@ class Server {
   /// normalized weight share alpha_n to it.
   void set_telemetry(obs::TelemetrySink* sink) { telemetry_ = sink; }
 
+  /// Aggregator-tree session (set by Fleet::set_hierarchy; may be null).
+  /// When attached and active, aggregate() computes its per-update weights
+  /// as usual and routes the accumulation through the tree instead of the
+  /// inline fold.
+  void set_hierarchy(HierarchySession* session) { hierarchy_ = session; }
+
+  /// The aggregation geometry shared with the agg layer (per-param neuron
+  /// ownership and per-neuron flat slices of the reference model).
+  const agg::ModelGeometry& geometry() const { return geometry_; }
+
  private:
   nn::Model model_;
   std::vector<float> global_;
   std::vector<float> buffers_;
-  /// 1 where the flat parameter belongs to some neuron, 0 for common params.
-  std::vector<std::uint8_t> neuron_owned_;
+  agg::ModelGeometry geometry_;
   obs::TelemetrySink* telemetry_ = nullptr;
+  HierarchySession* hierarchy_ = nullptr;
 };
 
 }  // namespace helios::fl

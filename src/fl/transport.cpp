@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fl/hierarchy.h"
 #include "obs/telemetry.h"
 
 namespace helios::fl {
@@ -139,11 +140,43 @@ NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
   const net::RoundProtocol::RoundOutcome out =
       protocol_.run_round(sends, round_start, analytic_round);
 
+  // With an aggregator tree attached, the accepted device frames now sit at
+  // their edge nodes; simulate the merge-frame relay up the tree before
+  // deciding what reaches the root. An edge (or its regional) missing a tier
+  // deadline drops its whole device set from this round's aggregation — the
+  // weight-carrying frames make that renormalize exactly like a late cohort.
+  HierarchySession* hier = fleet_.hierarchy();
+  const bool tree_relay = hier != nullptr && hier->active();
+  agg::RelayOutcome relay;
+  if (tree_relay) {
+    const int edges = hier->topology().edge_nodes;
+    std::vector<double> edge_ready(static_cast<std::size_t>(edges), -1.0);
+    std::vector<std::size_t> edge_extra(static_cast<std::size_t>(edges), 0);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const net::RoundProtocol::Delivery& del = out.deliveries[i];
+      if (!del.delivered || del.deadline_missed) continue;
+      const auto e = static_cast<std::size_t>(
+          hier->topology().edge_of(updates[i].client_id));
+      edge_ready[e] = std::max(edge_ready[e], del.settle_s);
+      if (!updates[i].trained_mask.empty()) {
+        // Bookkeeping rider: one f64 U^ij shard per masked neuron plus the
+        // device id, forwarded alongside the edge's merge frame.
+        edge_extra[e] += 8 * updates[i].trained_mask.size() + 8;
+      }
+    }
+    relay = hier->relay_round(edge_ready, edge_extra, round_start);
+  }
+
   d.arrived.reserve(static_cast<std::size_t>(out.delivered));
   for (std::size_t i = 0; i < updates.size(); ++i) {
     const net::RoundProtocol::Delivery& del = out.deliveries[i];
     d.comm_seconds[i] = del.comm_seconds;
-    const bool accepted = del.delivered && !del.deadline_missed;
+    bool accepted = del.delivered && !del.deadline_missed;
+    if (accepted && tree_relay) {
+      const auto e = static_cast<std::size_t>(
+          hier->topology().edge_of(updates[i].client_id));
+      accepted = relay.edge_on_time[e] != 0;
+    }
     d.delivered[i] = accepted ? 1 : 0;
     if (del.died) {
       d.died.push_back(del.device_id);
@@ -162,13 +195,24 @@ NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
                                    del.comm_seconds);
     }
   }
-  d.round_seconds = out.round_close_s - round_start;
-  d.upload_mb = static_cast<double>(out.bytes_on_wire) / 1e6;
+  double close_s = out.round_close_s;
   d.bytes_on_wire = out.bytes_on_wire;
   d.retransmits = out.retransmits;
   d.lost_frames = out.lost_frames;
   d.deadline_misses = out.deadline_misses;
-  record_round(d, static_cast<std::size_t>(out.delivered));
+  if (tree_relay && relay.any_sent) {
+    // The round now closes when the root holds its last accepted merge frame
+    // (or the governing tier deadline expires); the device-tier close still
+    // applies for failed device uploads the protocol waited out.
+    close_s = std::max(close_s, relay.close_s);
+    d.bytes_on_wire += relay.bytes_on_wire;
+    d.retransmits += relay.retransmits;
+    d.lost_frames += relay.lost_frames;
+    d.deadline_misses += relay.deadline_misses;
+  }
+  d.round_seconds = close_s - round_start;
+  d.upload_mb = static_cast<double>(d.bytes_on_wire) / 1e6;
+  record_round(d, d.arrived.size());
   return d;
 }
 
@@ -202,8 +246,19 @@ NetworkSession::SingleDelivery NetworkSession::deliver_update(
   s.settle_s = del.settle_s;
   if (del.died) mark_death(del.device_id);
   if (del.delivered) {
+    // Asynchronous updates relayed through an aggregator tree pay the
+    // deterministic per-hop merge-frame transfer on top of the device
+    // uplink (no tier batching: each completion travels alone).
+    HierarchySession* hier = fleet_.hierarchy();
+    if (hier != nullptr && hier->active()) {
+      const std::size_t rider =
+          update.trained_mask.empty() ? 0 : 8 * update.trained_mask.size() + 8;
+      const double hop = hier->async_uplink_seconds(update.client_id, rider);
+      s.comm_seconds += hop;
+      s.settle_s += hop;
+    }
     s.update = decode(frame, base_params, update);
-    s.update.upload_seconds = del.comm_seconds;
+    s.update.upload_seconds = s.comm_seconds;
     s.update.upload_mb = static_cast<double>(del.bytes_on_wire) / 1e6;
   }
   if (sink != nullptr) {

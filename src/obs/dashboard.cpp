@@ -22,6 +22,30 @@ std::size_t StragglerDashboard::device_count() const {
   return devices_.size();
 }
 
+void StragglerDashboard::record_tier(std::string_view tier,
+                                     std::uint64_t frames_folded,
+                                     std::uint64_t bytes_forwarded,
+                                     int deadline_misses, int retransmits,
+                                     int lost_frames, double fold_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tiers_.find(tier);
+  if (it == tiers_.end()) it = tiers_.emplace(std::string(tier), TierTotals{}).first;
+  TierTotals& t = it->second;
+  ++t.merges;
+  t.frames_folded += static_cast<long long>(frames_folded);
+  t.bytes_forwarded += static_cast<long long>(bytes_forwarded);
+  t.deadline_misses += deadline_misses;
+  t.retransmits += retransmits;
+  t.lost_frames += lost_frames;
+  t.fold_seconds += fold_seconds;
+}
+
+TierTotals StragglerDashboard::tier(std::string_view tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tiers_.find(tier);
+  return it != tiers_.end() ? it->second : TierTotals{};
+}
+
 void StragglerDashboard::render(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (devices_.size() > summary_threshold_) {
@@ -132,6 +156,21 @@ void StragglerDashboard::render_summary(std::ostream& os) const {
              r.precision)});
   }
   table.print(os);
+  render_tiers(os);
+}
+
+void StragglerDashboard::render_tiers(std::ostream& os) const {
+  if (tiers_.empty()) return;
+  util::Table table({"tier", "merges", "frames folded", "fwd (MB)",
+                     "tier misses", "retx", "lost", "fold (s)"});
+  for (const auto& [name, t] : tiers_) {
+    table.add_row(
+        {name, std::to_string(t.merges), std::to_string(t.frames_folded),
+         util::Table::num(static_cast<double>(t.bytes_forwarded) / 1e6, 2),
+         std::to_string(t.deadline_misses), std::to_string(t.retransmits),
+         std::to_string(t.lost_frames), util::Table::num(t.fold_seconds, 3)});
+  }
+  table.print(os);
 }
 
 void StragglerDashboard::write_summary_json(std::ostream& os) const {
@@ -155,7 +194,26 @@ void StragglerDashboard::write_summary_json(std::ostream& os) const {
        << ", \"mean\": " << util::mean(r.values) << ", \"max\": "
        << *std::max_element(r.values.begin(), r.values.end()) << '}';
   }
-  os << "\n  }\n}\n";
+  os << "\n  }";
+  if (!tiers_.empty()) {
+    os << ",\n  \"tiers\": {";
+    bool first_tier = true;
+    for (const auto& [name, t] : tiers_) {
+      if (!first_tier) os << ',';
+      first_tier = false;
+      os << "\n    \"";
+      json_escape(os, name);
+      os << "\": {\"merges\": " << t.merges
+         << ", \"frames_folded\": " << t.frames_folded
+         << ", \"bytes_forwarded\": " << t.bytes_forwarded
+         << ", \"deadline_misses\": " << t.deadline_misses
+         << ", \"retransmits\": " << t.retransmits
+         << ", \"lost_frames\": " << t.lost_frames
+         << ", \"fold_seconds\": " << t.fold_seconds << '}';
+    }
+    os << "\n  }";
+  }
+  os << "\n}\n";
 }
 
 void StragglerDashboard::write_json(std::ostream& os) const {

@@ -8,12 +8,28 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace helios::obs {
+
+/// Accumulated per-tier aggregator-tree statistics (hierarchical
+/// aggregation runs only; empty otherwise). Keyed by tier name —
+/// "edge" / "regional" / "root".
+struct TierTotals {
+  long long merges = 0;           // rounds this tier reported
+  long long frames_folded = 0;
+  long long bytes_forwarded = 0;
+  long long deadline_misses = 0;
+  long long retransmits = 0;
+  long long lost_frames = 0;
+  double fold_seconds = 0.0;      // wall-clock folding/merging time
+};
 
 /// Accumulated per-device run statistics. All times are virtual seconds.
 struct DeviceStats {
@@ -81,6 +97,15 @@ class StragglerDashboard {
   DeviceStats device(int device_id) const;
   std::size_t device_count() const;
 
+  /// One aggregator-tree tier's round rollup (TelemetrySink forwards
+  /// helios.agg.* tier merges here). The fleet summary renders a per-tier
+  /// breakdown when any tier has reported.
+  void record_tier(std::string_view tier, std::uint64_t frames_folded,
+                   std::uint64_t bytes_forwarded, int deadline_misses,
+                   int retransmits, int lost_frames, double fold_seconds);
+  /// Copy of a tier's totals (zero-valued default if never seen).
+  TierTotals tier(std::string_view tier) const;
+
   /// Console rendering via util::Table: per-device rows up to the summary
   /// threshold, percentile fleet summary beyond it.
   void render(std::ostream& os) const;
@@ -98,8 +123,12 @@ class StragglerDashboard {
   void render_devices(std::ostream& os) const;  // callers hold mu_
   void render_summary(std::ostream& os) const;  // callers hold mu_
 
+  void render_tiers(std::ostream& os) const;     // callers hold mu_
+
   mutable std::mutex mu_;
   std::map<int, DeviceStats> devices_;  // ordered by device id
+  // Ordered by name — conveniently edge < regional < root.
+  std::map<std::string, TierTotals, std::less<>> tiers_;
   std::size_t summary_threshold_ = kDefaultSummaryThreshold;
 };
 

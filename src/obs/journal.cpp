@@ -208,6 +208,23 @@ void RunJournal::network_round(const Stamp& s, std::size_t bytes_on_wire,
   commit(line);
 }
 
+void RunJournal::tier_merge(const Stamp& s, std::string_view tier,
+                            std::uint64_t frames_folded,
+                            std::uint64_t bytes_forwarded, int deadline_misses,
+                            int retransmits, int lost_frames,
+                            double fold_seconds) {
+  if (os_ == nullptr) return;
+  std::string line = open_line("merge", s, wall_ms());
+  append_string_field(line, "tier", tier);
+  append_field(line, "frames", static_cast<long long>(frames_folded));
+  append_field(line, "bytes", static_cast<long long>(bytes_forwarded));
+  append_field(line, "miss", deadline_misses);
+  append_field(line, "retx", retransmits);
+  append_field(line, "lost", lost_frames);
+  append_field(line, "fold_s", fold_seconds);
+  commit(line);
+}
+
 void RunJournal::churn(const Stamp& s, int arrivals, int departures,
                        std::size_t population) {
   if (os_ == nullptr) return;

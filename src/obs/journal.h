@@ -30,6 +30,10 @@
 //   agg        {r_n, alpha}              — aggregation weight actually used
 //   rot        {forced, cs0..cs3}        — rotation regulation snapshot
 //   net_round  {bytes, n, okn, lost, retx, miss, dead, renorm}
+//   merge      {tier, frames, bytes, miss, retx, lost, fold_s}
+//                                        — one aggregator-tree tier's round
+//                                          rollup (hierarchical runs only;
+//                                          old readers may skip the type)
 //   churn      {in, out, pop}
 //   round      {strat, acc, loss, up_mb} — cycle completed
 //
@@ -106,6 +110,13 @@ class RunJournal {
                      int participants, int delivered, int lost_frames,
                      int retransmits, int deadline_misses, int deaths,
                      bool renormalized);
+  /// One aggregator-tree tier's rollup for the round (`tier` is "edge",
+  /// "regional" or "root"). Schema-compatible addition: readers that predate
+  /// it skip unknown event types.
+  void tier_merge(const Stamp& s, std::string_view tier,
+                  std::uint64_t frames_folded, std::uint64_t bytes_forwarded,
+                  int deadline_misses, int retransmits, int lost_frames,
+                  double fold_seconds);
   void churn(const Stamp& s, int arrivals, int departures,
              std::size_t population);
   void round_result(const Stamp& s, std::string_view strategy,

@@ -100,6 +100,15 @@ JournalSummary summarize_journal(const std::vector<JournalEvent>& events) {
       if (f.number_or("dead", 0.0) != 0.0) ++s.deaths;
     } else if (ev.type == "net_round") {
       if (f.number_or("renorm", 0.0) != 0.0) ++s.renormalized_rounds;
+    } else if (ev.type == "merge") {
+      TierTotals& t = s.tiers[f.string_or("tier", "?")];
+      ++t.merges;
+      t.frames_folded += static_cast<long long>(f.number_or("frames", 0.0));
+      t.bytes_forwarded += static_cast<long long>(f.number_or("bytes", 0.0));
+      t.deadline_misses += static_cast<int>(f.number_or("miss", 0.0));
+      t.retransmits += static_cast<int>(f.number_or("retx", 0.0));
+      t.lost_frames += static_cast<int>(f.number_or("lost", 0.0));
+      t.fold_seconds += f.number_or("fold_s", 0.0);
     } else if (ev.type == "churn") {
       s.churn_arrivals += static_cast<int>(f.number_or("in", 0.0));
       s.churn_departures += static_cast<int>(f.number_or("out", 0.0));
@@ -148,6 +157,22 @@ void write_summary(std::ostream& os, const JournalSummary& s) {
     os << "churn: +" << s.churn_arrivals << " / -" << s.churn_departures
        << " devices\n";
   }
+  if (!s.tiers.empty()) {
+    os << "hierarchy:\n";
+    util::Table tiers({"tier", "merges", "frames folded", "fwd (MB)",
+                       "tier misses", "retx", "lost", "fold (s)"});
+    for (const auto& [name, t] : s.tiers) {
+      tiers.add_row({name, std::to_string(t.merges),
+                     std::to_string(t.frames_folded),
+                     util::Table::num(
+                         static_cast<double>(t.bytes_forwarded) / 1e6, 2),
+                     std::to_string(t.deadline_misses),
+                     std::to_string(t.retransmits),
+                     std::to_string(t.lost_frames),
+                     util::Table::num(t.fold_seconds, 3)});
+    }
+    tiers.print(os);
+  }
 
   std::vector<double> trained, skipped, drift, r_n;
   int stragglers = 0, dead = 0;
@@ -194,8 +219,26 @@ void write_summary_json(std::ostream& os, const JournalSummary& s) {
      << ",\"deaths\":" << s.deaths
      << ",\"renormalized_rounds\":" << s.renormalized_rounds
      << ",\"churn_arrivals\":" << s.churn_arrivals
-     << ",\"churn_departures\":" << s.churn_departures
-     << ",\"per_device\":[";
+     << ",\"churn_departures\":" << s.churn_departures;
+  if (!s.tiers.empty()) {
+    os << ",\"tiers\":{";
+    bool first_tier = true;
+    for (const auto& [name, t] : s.tiers) {
+      if (!first_tier) os << ',';
+      first_tier = false;
+      os << '"';
+      json_escape(os, name);
+      os << "\":{\"merges\":" << t.merges
+         << ",\"frames_folded\":" << t.frames_folded
+         << ",\"bytes_forwarded\":" << t.bytes_forwarded
+         << ",\"deadline_misses\":" << t.deadline_misses
+         << ",\"retransmits\":" << t.retransmits
+         << ",\"lost_frames\":" << t.lost_frames
+         << ",\"fold_seconds\":" << t.fold_seconds << '}';
+    }
+    os << '}';
+  }
+  os << ",\"per_device\":[";
   bool first = true;
   for (const auto& [id, d] : s.devices) {
     if (!first) os << ',';
@@ -257,6 +300,17 @@ void replay_dashboard(const std::vector<JournalEvent>& events,
             static_cast<int>(f.number_or("cs2", 0.0)),
             static_cast<int>(f.number_or("cs3", 0.0))};
       });
+    } else if (ev.type == "merge") {
+      // Mirrors record_tier_merge: one dashboard tier update per merge
+      // event, so replayed tier totals match the live dashboard's.
+      dash.record_tier(
+          f.string_or("tier", "?"),
+          static_cast<std::uint64_t>(f.number_or("frames", 0.0)),
+          static_cast<std::uint64_t>(f.number_or("bytes", 0.0)),
+          static_cast<int>(f.number_or("miss", 0.0)),
+          static_cast<int>(f.number_or("retx", 0.0)),
+          static_cast<int>(f.number_or("lost", 0.0)),
+          f.number_or("fold_s", 0.0));
     } else if (ev.type == "xfer") {
       // Mirrors record_device_transfer.
       dash.update(ev.device, [&](DeviceStats& d) {

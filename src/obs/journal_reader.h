@@ -87,6 +87,11 @@ struct JournalSummary {
   int churn_departures = 0;
 
   std::map<int, DeviceJournal> devices;  // ordered by device id
+
+  /// Per-tier rollups from "merge" events (hierarchical aggregation runs
+  /// only; empty for flat runs). Keyed by tier name ("edge" < "regional" <
+  /// "root"), same shape as the live dashboard's TierTotals.
+  std::map<std::string, TierTotals> tiers;
 };
 
 JournalSummary summarize_journal(const std::vector<JournalEvent>& events);

@@ -281,6 +281,41 @@ void TelemetrySink::record_network_round(std::size_t bytes_on_wire,
   }
 }
 
+void TelemetrySink::record_tier_merge(std::string_view tier,
+                                      std::uint64_t frames_folded,
+                                      std::uint64_t bytes_forwarded,
+                                      int deadline_misses, int retransmits,
+                                      int lost_frames, double fold_seconds) {
+  const LabelSet labels{{"tier", std::string(tier)}};
+  metrics_.counter("helios.agg.frames_folded_total", labels)
+      .add(static_cast<double>(frames_folded));
+  metrics_.counter("helios.agg.bytes_forwarded_total", labels)
+      .add(static_cast<double>(bytes_forwarded));
+  if (deadline_misses > 0) {
+    metrics_.counter("helios.agg.deadline_missed_total", labels)
+        .add(static_cast<double>(deadline_misses));
+  }
+  if (retransmits > 0) {
+    metrics_.counter("helios.agg.retransmits_total", labels)
+        .add(static_cast<double>(retransmits));
+  }
+  if (lost_frames > 0) {
+    metrics_.counter("helios.agg.frames_lost_total", labels)
+        .add(static_cast<double>(lost_frames));
+  }
+  metrics_.histogram("helios.agg.fold_seconds", labels).observe(fold_seconds);
+
+  dashboard_.record_tier(tier, frames_folded, bytes_forwarded,
+                         deadline_misses, retransmits, lost_frames,
+                         fold_seconds);
+
+  if (journal_) {
+    journal_->tier_merge(journal_stamp(-1), tier, frames_folded,
+                         bytes_forwarded, deadline_misses, retransmits,
+                         lost_frames, fold_seconds);
+  }
+}
+
 void TelemetrySink::record_cohort(int round, std::size_t population,
                                   std::size_t active, std::size_t sampled) {
   metrics_.gauge("helios.sim.population").set(static_cast<double>(population));

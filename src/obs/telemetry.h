@@ -143,6 +143,15 @@ class TelemetrySink {
                             int delivered, int lost_frames, int retransmits,
                             int deadline_misses, int deaths);
 
+  /// One aggregator-tree tier's rollup for the round (hierarchical
+  /// aggregation runs; `tier` is "edge", "regional" or "root"). Exported as
+  /// the helios.agg.* counters labeled {tier=<name>}, the dashboard's
+  /// per-tier breakdown, and the journal's "merge" event.
+  void record_tier_merge(std::string_view tier, std::uint64_t frames_folded,
+                         std::uint64_t bytes_forwarded, int deadline_misses,
+                         int retransmits, int lost_frames,
+                         double fold_seconds);
+
   /// One round's cohort draw (population-scale simulation): fleet size,
   /// active roster, and how many clients were sampled to participate.
   void record_cohort(int round, std::size_t population, std::size_t active,

@@ -32,41 +32,63 @@ data::SyntheticSpec task_spec(const PopulationConfig& c) {
   return s;
 }
 
+/// Everything a device shard's synthesis depends on, by value — small
+/// enough that a lazy client can carry one in its data factory without
+/// holding the whole PopulationConfig (or the generator) alive.
+struct ShardRecipe {
+  data::SyntheticSpec spec;  // task identity; samples filled per call
+  std::uint64_t seed = 0;
+  int classes = 0;
+  int index = 0;
+  int shard_samples = 0;
+  std::vector<int> label_classes;
+};
+
+ShardRecipe shard_recipe(const PopulationConfig& c, const DeviceSpec& d) {
+  return ShardRecipe{task_spec(c), c.seed,           c.classes,
+                     d.index,      d.shard_samples,  d.label_classes};
+}
+
 /// Per-device shard: independently synthesized from the device's own
 /// stream (same class prototypes as everyone else), optionally restricted
-/// to the device's label classes by oversample-and-filter.
-data::Dataset device_shard(const PopulationConfig& c, const DeviceSpec& d) {
-  data::SyntheticSpec s = task_spec(c);
-  util::Rng rng = util::Rng(c.seed).fork(kShardStream).fork(
-      static_cast<std::uint64_t>(d.index));
-  if (d.label_classes.empty()) {
-    s.samples = d.shard_samples;
+/// to the device's label classes by oversample-and-filter. Pure function of
+/// the recipe, so eager and lazy materialization are bit-identical.
+data::Dataset make_shard(const ShardRecipe& r) {
+  data::SyntheticSpec s = r.spec;
+  util::Rng rng = util::Rng(r.seed).fork(kShardStream).fork(
+      static_cast<std::uint64_t>(r.index));
+  if (r.label_classes.empty()) {
+    s.samples = r.shard_samples;
     return data::make_synthetic(s, rng);
   }
-  const int k = static_cast<int>(d.label_classes.size());
+  const int k = static_cast<int>(r.label_classes.size());
   // Labels are drawn uniformly, so oversampling by classes/k (plus slack)
   // leaves ~shard_samples matches to keep.
-  s.samples = d.shard_samples * c.classes / k + 2 * c.classes;
+  s.samples = r.shard_samples * r.classes / k + 2 * r.classes;
   data::Dataset pool = data::make_synthetic(s, rng);
   std::vector<std::size_t> keep;
-  keep.reserve(static_cast<std::size_t>(d.shard_samples));
+  keep.reserve(static_cast<std::size_t>(r.shard_samples));
   for (std::size_t i = 0; i < pool.labels.size(); ++i) {
     const int label = pool.labels[i];
-    if (std::find(d.label_classes.begin(), d.label_classes.end(), label) !=
-        d.label_classes.end()) {
+    if (std::find(r.label_classes.begin(), r.label_classes.end(), label) !=
+        r.label_classes.end()) {
       keep.push_back(i);
     }
-    if (keep.size() >= static_cast<std::size_t>(d.shard_samples)) break;
+    if (keep.size() >= static_cast<std::size_t>(r.shard_samples)) break;
   }
   if (keep.empty()) {  // pathological skew draw: fall back to the pool head
     for (std::size_t i = 0;
          i < std::min<std::size_t>(pool.labels.size(),
-                                   static_cast<std::size_t>(d.shard_samples));
+                                   static_cast<std::size_t>(r.shard_samples));
          ++i) {
       keep.push_back(i);
     }
   }
   return data::subset(pool, keep);
+}
+
+data::Dataset device_shard(const PopulationConfig& c, const DeviceSpec& d) {
+  return make_shard(shard_recipe(c, d));
 }
 
 fl::ClientConfig client_config(const PopulationConfig& c, int index) {
@@ -258,13 +280,26 @@ fl::Client& add_device(fl::Fleet& fleet, const PopulationGenerator& pop,
                        int index) {
   const PopulationConfig& c = pop.config();
   const DeviceSpec d = pop.device(index);
-  fl::Client& cl = fleet.add_client(device_shard(c, d),
-                                    client_config(c, index), d.profile);
-  if (d.straggler) {
-    cl.set_straggler(true);
-    cl.set_volume(d.volume);
+  fl::Client* cl = nullptr;
+  if (c.lazy_data) {
+    // The recipe travels by value, so the factory outlives the generator.
+    // nominal = the requested shard size; for label-skewed devices the
+    // filtered shard may come out smaller, which planning tolerates (the
+    // exact size takes over after first materialization).
+    ShardRecipe recipe = shard_recipe(c, d);
+    cl = &fleet.add_client(
+        [recipe = std::move(recipe)]() { return make_shard(recipe); },
+        static_cast<std::size_t>(d.shard_samples), client_config(c, index),
+        d.profile);
+  } else {
+    cl = &fleet.add_client(device_shard(c, d), client_config(c, index),
+                           d.profile);
   }
-  return cl;
+  if (d.straggler) {
+    cl->set_straggler(true);
+    cl->set_volume(d.volume);
+  }
+  return *cl;
 }
 
 void apply_channels(fl::NetworkSession& session,

@@ -73,6 +73,13 @@ struct PopulationConfig {
   /// Per-device mode only: label classes each device observes
   /// (0 = all classes). The skew knob for non-IID populations.
   int classes_per_device = 0;
+  /// Per-device mode only: build clients with a lazy data factory instead of
+  /// eagerly synthesized shards. Sampled devices materialize their shard on
+  /// first training use and release it when hibernated, so an O(100k)-device
+  /// fleet at C ~ 0.01 holds sample memory only for the active cohort.
+  /// Training is bit-identical either way (the shard and the loader's
+  /// shuffle stream are pure functions of the seed).
+  bool lazy_data = false;
 
   // -- Device roster --------------------------------------------------------
   /// Non-empty = fixed-roster mode: profiles/flags cycle through this list

@@ -23,6 +23,7 @@
 #include "fl/baselines.h"
 #include "fl/checkpoint.h"
 #include "fl/fedprox.h"
+#include "fl/hierarchy.h"
 #include "fl/sync.h"
 #include "fl/transport.h"
 #include "obs/journal_reader.h"
@@ -486,6 +487,66 @@ TEST(CrashResumeTest, ChurnAndLossyNetworkResumeBitIdentical) {
         kill_at, tmp.file("ckpt_" + std::to_string(kill_at)));
     expect_identical(golden, resumed,
                      "churn+net kill_at=" + std::to_string(kill_at));
+  }
+}
+
+// ---- Hierarchical aggregation resume ----------------------------------------
+
+/// Helios over a depth-2 aggregator tree on a lossy simulated network: the
+/// tree's uplink channel RNGs (jitter + loss draws per merge frame) are part
+/// of the registered component state, so a mid-run kill must resume onto
+/// the identical relay outcomes — same tier deadline misses, same excluded
+/// edges, same renormalized aggregates — bit for bit.
+Snapshot hierarchy_net_run(int kill_at, const std::string& ckpt) {
+  const int cycles = 5;
+  agg::TreeTopology topo;
+  topo.edge_nodes = 2;
+  topo.edge_link.jitter_s = 0.01;
+  topo.edge_link.loss_prob = 0.05;
+  topo.edge_link.latency_s = 0.005;
+  net::NetworkOptions nopts;
+  nopts.mode = net::NetMode::kSimulated;
+  nopts.channel.loss_prob = 0.05;
+  nopts.channel.latency_s = 0.01;
+  nopts.channel.jitter_s = 0.02;
+
+  if (kill_at > 0) {
+    fl::Fleet fleet = testing::make_fleet();
+    fl::HierarchySession hier(fleet, topo);
+    fleet.register_checkpointable("hierarchy", &hier);
+    fl::NetworkSession session(fleet, nopts);
+    core::HeliosStrategy strategy(core::HeliosConfig{});
+    fl::RunResult partial;
+    partial.method = strategy.name();
+    strategy.run_range(fleet, partial, 0, kill_at);
+    fleet.save_checkpoint(ckpt, &strategy, partial);
+    // fleet + session + tree die here: nothing survives but the file.
+  }
+
+  fl::Fleet fleet = testing::make_fleet();
+  fl::HierarchySession hier(fleet, topo);
+  fleet.register_checkpointable("hierarchy", &hier);
+  fl::NetworkSession session(fleet, nopts);
+  core::HeliosStrategy strategy(core::HeliosConfig{});
+  fl::RunResult result;
+  if (kill_at > 0) {
+    result = fleet.resume(ckpt, &strategy);
+  } else {
+    result.method = strategy.name();
+  }
+  strategy.run_range(fleet, result, static_cast<int>(result.rounds.size()),
+                     cycles);
+  return snapshot_of(fleet, std::move(result));
+}
+
+TEST(CrashResumeTest, HierarchyTreeResumeBitIdentical) {
+  TempDir tmp;
+  const Snapshot golden = hierarchy_net_run(0, "");
+  for (int kill_at = 1; kill_at < 5; ++kill_at) {
+    const Snapshot resumed = hierarchy_net_run(
+        kill_at, tmp.file("ckpt_" + std::to_string(kill_at)));
+    expect_identical(golden, resumed,
+                     "hierarchy kill_at=" + std::to_string(kill_at));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/helios_strategy.h"
+#include "fl/hierarchy.h"
 #include "fl/transport.h"
 #include "obs/telemetry.h"
 #include "sim/churn.h"
@@ -53,6 +54,72 @@ TEST(ScaleSmokeTest, SampledChurningFleetCompletesAndStaysBounded) {
             static_cast<double>(kDevices));
   EXPECT_GE(telemetry.metrics().counter("helios.sim.sampled_total").value(),
             static_cast<double>(kCycles));
+  fleet.set_sampler(nullptr);
+  fleet.set_telemetry(nullptr);
+}
+
+// Hierarchy smoke: the same sampled long-tail fleet aggregated through a
+// depth-2 edge->root tree, under churn plumbing and 5% frame loss on both
+// the device uplinks and the tree's own merge-frame links. Rounds must
+// close (deadlines bound lossy links), tier telemetry must flow, and the
+// unsampled population must stay hollow exactly as on the flat path.
+TEST(ScaleSmokeTest, HierarchicalTreeUnderChurnAndLossCompletes) {
+  const int kDevices = 64;
+  const int kCycles = 3;
+  obs::TelemetrySink telemetry;
+  const sim::PopulationGenerator pop(sim::mobile_longtail(kDevices));
+  fl::Fleet fleet = sim::build_fleet(pop);
+  fleet.set_telemetry(&telemetry);
+
+  agg::TreeTopology topo;
+  topo.edge_nodes = 8;
+  topo.edge_link.loss_prob = 0.05;
+  topo.edge_link.latency_s = 0.005;
+  topo.edge_deadline_s = 4000.0;
+  fl::HierarchySession hier(fleet, topo);
+
+  net::NetworkOptions nopts;
+  nopts.mode = net::NetMode::kSimulated;
+  nopts.channel.loss_prob = 0.05;
+  nopts.channel.latency_s = 0.01;
+  nopts.deadline_factor = 4.0;
+  fl::NetworkSession session(fleet, nopts);
+
+  sim::CohortSampler::Options sopts;
+  sopts.fraction = 0.1;
+  sopts.seed = 17;
+  sim::CohortSampler sampler(sopts);
+  sampler.attach(&fleet);
+  fleet.set_sampler(&sampler);
+
+  sim::ChurnOptions copts;
+  copts.arrival_rate_per_s = 0.0;
+  copts.mean_lifetime_s = 0.0;
+  sim::ChurnProcess churn(pop, copts);
+  core::HeliosStrategy strategy{core::HeliosConfig{}};
+  strategy.set_cycle_hook(
+      [&](fl::Fleet& f, int cycle) { churn.step(f, cycle); });
+
+  const fl::RunResult r = strategy.run(fleet, kCycles);
+  ASSERT_EQ(r.rounds.size(), static_cast<std::size_t>(kCycles));
+  EXPECT_GT(r.rounds.back().virtual_time, 0.0);
+
+  std::size_t materialized = 0;
+  for (auto& c : fleet.clients()) materialized += c->materialized() ? 1 : 0;
+  EXPECT_LT(materialized, static_cast<std::size_t>(kDevices) / 2);
+
+  // Merge frames folded and forwarded at both tiers every round.
+  EXPECT_GE(telemetry.metrics()
+                .counter("helios.agg.frames_folded_total", {{"tier", "edge"}})
+                .value(),
+            static_cast<double>(kCycles));
+  EXPECT_GT(telemetry.metrics()
+                .counter("helios.agg.bytes_forwarded_total",
+                         {{"tier", "edge"}})
+                .value(),
+            0.0);
+  EXPECT_GE(telemetry.dashboard().tier("root").merges,
+            static_cast<long long>(kCycles));
   fleet.set_sampler(nullptr);
   fleet.set_telemetry(nullptr);
 }
