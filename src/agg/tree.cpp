@@ -18,8 +18,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 AggregatorTree::AggregatorTree(const TreeTopology& topology,
-                               const ModelGeometry* geometry)
-    : topo_(topology), geo_(geometry) {
+                               const ModelGeometry* geometry,
+                               MergeCodec codec)
+    : topo_(topology), geo_(geometry), codec_(codec) {
   if (!topo_.active()) {
     throw std::invalid_argument("AggregatorTree: inactive topology");
   }
@@ -122,11 +123,15 @@ void AggregatorTree::collapse() {
     if (edges_[e].empty()) continue;
     // The tier crossing: the edge serializes its accumulator, the parent
     // decodes and merges, and the edge-side copy is conceptually discarded.
-    const std::vector<std::uint8_t> frame = edges_[e].encode_frame();
+    const std::vector<std::uint8_t> frame = edges_[e].encode_frame(codec_);
     // In simulated mode relay() already accounted the wire bytes (rider and
     // retransmits included); count payload bytes here only on the ideal /
     // pass-through path.
-    if (!relay_ran_) stats_.front().bytes_forwarded += frame.size();
+    if (!relay_ran_) {
+      stats_.front().bytes_forwarded += frame.size();
+      stats_.front().raw_bytes +=
+          StreamingAccumulator::frame_bytes(*geo_, MergeCodec::kF64);
+    }
     StreamingAccumulator decoded =
         StreamingAccumulator::decode_frame(frame, geo_);
     if (depth3) {
@@ -144,8 +149,12 @@ void AggregatorTree::collapse() {
     const auto t1 = std::chrono::steady_clock::now();
     for (auto& r : regionals_) {
       if (r.empty()) continue;
-      const std::vector<std::uint8_t> frame = r.encode_frame();
-      if (!relay_ran_) stats_[1].bytes_forwarded += frame.size();
+      const std::vector<std::uint8_t> frame = r.encode_frame(codec_);
+      if (!relay_ran_) {
+        stats_[1].bytes_forwarded += frame.size();
+        stats_[1].raw_bytes +=
+            StreamingAccumulator::frame_bytes(*geo_, MergeCodec::kF64);
+      }
       root_.merge(StreamingAccumulator::decode_frame(frame, geo_));
       root_stats.frames_folded += 1;
     }
@@ -203,6 +212,8 @@ RelayOutcome AggregatorTree::relay(std::span<const double> edge_ready,
   }
   relay_ran_ = true;
   const std::size_t frame = merge_frame_bytes();
+  const std::size_t raw_frame =
+      StreamingAccumulator::frame_bytes(*geo_, MergeCodec::kF64);
   const double edge_deadline =
       topo_.edge_deadline_s > 0.0 ? round_start_s + topo_.edge_deadline_s : 0.0;
   const double root_deadline =
@@ -253,6 +264,7 @@ RelayOutcome AggregatorTree::relay(std::span<const double> edge_ready,
     const LinkDelivery d =
         send_link(edge_channels_[e], frame + edge_extra_bytes[e],
                   edge_ready[e], edge_deadline);
+    stats_.front().raw_bytes += raw_frame + edge_extra_bytes[e];
     if (account(d, edge_deadline, stats_.front())) {
       edge_sent[e] = {true, d.settle_s, edge_extra_bytes[e]};
       if (!depth3) out.edge_on_time[e] = 1;
@@ -280,6 +292,7 @@ RelayOutcome AggregatorTree::relay(std::span<const double> edge_ready,
     if (ready < 0.0) continue;
     const LinkDelivery d =
         send_link(regional_channels_[r], frame + extra, ready, root_deadline);
+    stats_[1].raw_bytes += raw_frame + extra;
     if (account(d, root_deadline, stats_[1])) {
       for (std::size_t e : children) out.edge_on_time[e] = 1;
     }

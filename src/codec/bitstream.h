@@ -1,0 +1,88 @@
+// LSB-first bitstream packing for codec payloads.
+//
+// Values are appended least-significant-bit first into a growing byte
+// vector, so a width-8 stream is byte-identical to plain bytes and a
+// width-16 stream to little-endian u16s — the packed layout stays
+// platform-stable regardless of host endianness or how the widths mix.
+// The reader throws CodecError on overrun, never reads past its span, and
+// exposes its byte position so framing layers can verify exact consumption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace helios::codec {
+
+/// Malformed codec input: NaN/Inf payloads, unknown codec ids, truncated or
+/// oversized packed streams.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Appends the low `bits` bits of `value`, LSB first. bits in [1, 64].
+  void put(std::uint64_t value, unsigned bits) {
+    for (unsigned b = 0; b < bits; ++b) {
+      if (fill_ == 0) {
+        out_.push_back(0);
+        at_ = out_.size() - 1;
+      }
+      if ((value >> b) & 1U) {
+        out_[at_] |= static_cast<std::uint8_t>(1U << fill_);
+      }
+      fill_ = (fill_ + 1) % 8;
+    }
+  }
+
+  /// Pads the current byte with zero bits (no-op when already aligned).
+  void align() { fill_ = 0; }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t at_ = 0;
+  unsigned fill_ = 0;  // bits already used in out_[at_]
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `bits` bits, LSB first. Throws CodecError past the end.
+  std::uint64_t get(unsigned bits) {
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+      if (at_ >= bytes_.size()) {
+        throw CodecError("codec: packed stream truncated");
+      }
+      if ((bytes_[at_] >> fill_) & 1U) v |= std::uint64_t{1} << b;
+      fill_ = (fill_ + 1) % 8;
+      if (fill_ == 0) ++at_;
+    }
+    return v;
+  }
+
+  /// Skips any partial byte (mirror of BitWriter::align).
+  void align() {
+    if (fill_ != 0) {
+      fill_ = 0;
+      ++at_;
+    }
+  }
+
+  /// Bytes fully or partially consumed so far.
+  std::size_t consumed() const { return at_ + (fill_ != 0 ? 1 : 0); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  unsigned fill_ = 0;
+};
+
+}  // namespace helios::codec

@@ -1,0 +1,330 @@
+#include "codec/codec.h"
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+namespace helios::codec {
+namespace {
+
+constexpr std::uint8_t kZeroEscape = 0x80;  // -128: never a clamped q
+constexpr int kZeroRunMin = 3;              // shortest run worth escaping
+constexpr int kZeroRunMax = 255;            // u8 run length
+
+const CodecInfo kCodecs[] = {
+    {CodecId::kFp32, "fp32", 32, false, false, false},
+    {CodecId::kFp16, "fp16", 16, false, false, false},
+    {CodecId::kInt8PerTensor, "int8", 8, true, false, true},
+    {CodecId::kInt8PerNeuron, "int8pn", 8, true, true, true},
+};
+
+std::uint32_t group_of(std::span<const std::uint32_t> groups, std::size_t i) {
+  return groups.empty() ? 0U : groups[i];
+}
+
+/// clamp(lround(v / s), -127, +127) in double — half-away-from-zero, the
+/// platform-stable rounding rule the header documents. s == 0 (an all-zero
+/// group) maps everything to 0.
+int int8_quantize(float v, float s) {
+  if (!(s > 0.0f)) return 0;
+  const long q =
+      std::lround(static_cast<double>(v) / static_cast<double>(s));
+  return q > 127 ? 127 : (q < -127 ? -127 : static_cast<int>(q));
+}
+
+float int8_dequantize(int q, float s) {
+  return static_cast<float>(static_cast<double>(q) * static_cast<double>(s));
+}
+
+void check_plan(const QuantPlan& plan, std::span<const float> values,
+                std::span<const std::uint32_t> groups) {
+  const CodecInfo& info = codec_info(plan.id);
+  if (!groups.empty() && groups.size() != values.size()) {
+    throw CodecError("codec: group tags do not match the value stream");
+  }
+  if (info.scaled) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (group_of(groups, i) >= plan.scale_bits.size()) {
+        throw CodecError("codec: value tagged with an unknown group");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const CodecInfo& codec_info(CodecId id) {
+  for (const CodecInfo& c : kCodecs) {
+    if (c.id == id) return c;
+  }
+  throw CodecError("codec: unknown codec id " +
+                   std::to_string(static_cast<std::uint32_t>(id)));
+}
+
+bool codec_known(std::uint32_t raw) {
+  for (const CodecInfo& c : kCodecs) {
+    if (static_cast<std::uint32_t>(c.id) == raw) return true;
+  }
+  return false;
+}
+
+CodecId codec_from_name(std::string_view name) {
+  if (name == "auto") return CodecId::kAuto;
+  for (const CodecInfo& c : kCodecs) {
+    if (name == c.name) return c.id;
+  }
+  throw CodecError("codec: unknown codec name \"" + std::string(name) + "\"");
+}
+
+const char* codec_name(CodecId id) {
+  if (id == CodecId::kAuto) return "auto";
+  return codec_info(id).name;
+}
+
+std::uint16_t fp16_from_float(float v) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000U);
+  const std::uint32_t abs = bits & 0x7FFFFFFFU;
+  const std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+  const std::uint32_t mant = abs & 0x007FFFFFU;
+  if (exp > 15) {
+    // Inf/NaN (rejected upstream) and everything past the fp16 range
+    // saturate to the largest finite half, +-65504.
+    return static_cast<std::uint16_t>(sign | 0x7BFFU);
+  }
+  std::uint32_t h;
+  if (exp >= -14) {
+    // Normal half: drop 13 mantissa bits with round-to-nearest-even; a
+    // mantissa carry rolls into the exponent field arithmetically.
+    const std::uint32_t lsb = (mant >> 13) & 1U;
+    const std::uint32_t round = (mant >> 12) & 1U;
+    const bool sticky = (mant & 0x0FFFU) != 0;
+    std::uint32_t hm = mant >> 13;
+    if (round && (sticky || lsb)) ++hm;
+    h = (static_cast<std::uint32_t>(exp + 15) << 10) + hm;
+    if (h >= 0x7C00U) h = 0x7BFFU;  // rounded up into Inf: saturate
+  } else if (exp >= -25) {
+    // Subnormal half: the implicit bit becomes explicit and the whole
+    // significand shifts right, still rounding to nearest-even.
+    const std::uint32_t m = mant | 0x00800000U;
+    const unsigned shift = static_cast<unsigned>(13 + (-14 - exp));
+    std::uint32_t hm = m >> shift;
+    const std::uint32_t round = (m >> (shift - 1)) & 1U;
+    const bool sticky = (m & ((1U << (shift - 1)) - 1U)) != 0;
+    if (round && (sticky || (hm & 1U))) ++hm;
+    h = hm;  // a carry lands exactly on the smallest normal half
+  } else {
+    h = 0;  // underflows to (signed) zero
+  }
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float fp16_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000U) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1FU;
+  std::uint32_t mant = h & 0x03FFU;
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // +-0
+    } else {
+      // Subnormal half: renormalize into a float.
+      unsigned shift = 0;
+      while ((mant & 0x0400U) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x03FFU;
+      f = sign | ((113U - shift) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1FU) {
+    f = sign | 0x7F800000U | (mant << 13);  // Inf/NaN (never emitted here)
+  } else {
+    f = sign | ((exp + 112U) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+void reject_non_finite(std::span<const float> values, const char* what) {
+  for (float v : values) {
+    if (!std::isfinite(v)) {
+      throw CodecError(std::string("codec: non-finite value in ") + what);
+    }
+  }
+}
+
+QuantPlan plan_quantization(CodecId id, std::span<const float> values,
+                            std::span<const std::uint32_t> groups,
+                            std::size_t group_count) {
+  const CodecInfo& info = codec_info(id);
+  if (!groups.empty() && groups.size() != values.size()) {
+    throw CodecError("codec: group tags do not match the value stream");
+  }
+  reject_non_finite(values, "payload");
+  QuantPlan plan;
+  plan.id = id;
+  if (!info.scaled) return plan;
+  if (group_count == 0 && !values.empty()) {
+    throw CodecError("codec: scaled codec needs at least one group");
+  }
+  std::vector<float> max_abs(group_count, 0.0f);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint32_t g = group_of(groups, i);
+    if (g >= group_count) {
+      throw CodecError("codec: value tagged with an unknown group");
+    }
+    const float a = std::fabs(values[i]);
+    if (a > max_abs[g]) max_abs[g] = a;
+  }
+  plan.scale_bits.resize(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    // The fp16-rounded scale is the canonical one — quantization and
+    // dequantization both use the exact value that crosses the wire.
+    plan.scale_bits[g] = fp16_from_float(
+        static_cast<float>(static_cast<double>(max_abs[g]) / 127.0));
+  }
+  return plan;
+}
+
+std::size_t encode_values(const QuantPlan& plan, std::span<const float> values,
+                          std::span<const std::uint32_t> groups,
+                          std::vector<std::uint8_t>& out) {
+  check_plan(plan, values, groups);
+  const CodecInfo& info = codec_info(plan.id);
+  const std::size_t start = out.size();
+  BitWriter w(out);
+  if (info.zero_rle) {
+    int run = 0;
+    auto flush = [&] {
+      while (run >= kZeroRunMin) {
+        const int chunk = run < kZeroRunMax ? run : kZeroRunMax;
+        w.put(kZeroEscape, 8);
+        w.put(static_cast<std::uint64_t>(chunk), 8);
+        run -= chunk;
+      }
+      for (; run > 0; --run) w.put(0, 8);
+    };
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const int q =
+          int8_quantize(values[i], plan.scale(group_of(groups, i)));
+      if (q == 0) {
+        ++run;
+        continue;
+      }
+      flush();
+      w.put(static_cast<std::uint8_t>(q), 8);
+    }
+    flush();
+  } else if (plan.id == CodecId::kFp16) {
+    for (float v : values) w.put(fp16_from_float(v), 16);
+  } else {  // kFp32
+    for (float v : values) w.put(std::bit_cast<std::uint32_t>(v), 32);
+  }
+  w.align();
+  return out.size() - start;
+}
+
+std::vector<float> decode_values(const QuantPlan& plan,
+                                 std::span<const std::uint8_t> payload,
+                                 std::span<const std::uint32_t> groups,
+                                 std::size_t count) {
+  if (!groups.empty() && groups.size() != count) {
+    throw CodecError("codec: group tags do not match the value stream");
+  }
+  const CodecInfo& info = codec_info(plan.id);
+  std::vector<float> values;
+  values.reserve(count);
+  BitReader r(payload);
+  if (info.zero_rle) {
+    while (values.size() < count) {
+      const auto b = static_cast<std::uint8_t>(r.get(8));
+      if (b == kZeroEscape) {
+        const auto run = static_cast<std::size_t>(r.get(8));
+        if (run < static_cast<std::size_t>(kZeroRunMin) ||
+            values.size() + run > count) {
+          throw CodecError("codec: corrupt zero run");
+        }
+        values.insert(values.end(), run, 0.0f);
+        continue;
+      }
+      const int q = static_cast<std::int8_t>(b);
+      const std::uint32_t g = group_of(groups, values.size());
+      if (g >= plan.scale_bits.size()) {
+        throw CodecError("codec: value tagged with an unknown group");
+      }
+      values.push_back(int8_dequantize(q, plan.scale(g)));
+    }
+  } else if (plan.id == CodecId::kFp16) {
+    for (std::size_t i = 0; i < count; ++i) {
+      values.push_back(
+          fp16_to_float(static_cast<std::uint16_t>(r.get(16))));
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      values.push_back(
+          std::bit_cast<float>(static_cast<std::uint32_t>(r.get(32))));
+    }
+  }
+  r.align();
+  if (r.consumed() != payload.size()) {
+    throw CodecError("codec: packed stream has trailing bytes");
+  }
+  return values;
+}
+
+float dequantize_one(const QuantPlan& plan, float value, std::uint32_t group) {
+  const CodecInfo& info = codec_info(plan.id);
+  if (info.scaled) {
+    if (group >= plan.scale_bits.size()) {
+      throw CodecError("codec: value tagged with an unknown group");
+    }
+    const float s = plan.scale(group);
+    return int8_dequantize(int8_quantize(value, s), s);
+  }
+  if (plan.id == CodecId::kFp16) return fp16_to_float(fp16_from_float(value));
+  return value;  // kFp32
+}
+
+std::vector<float> dequantized_values(const QuantPlan& plan,
+                                      std::span<const float> values,
+                                      std::span<const std::uint32_t> groups) {
+  check_plan(plan, values, groups);
+  std::vector<float> out;
+  out.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.push_back(dequantize_one(plan, values[i], group_of(groups, i)));
+  }
+  return out;
+}
+
+std::size_t payload_bytes(const QuantPlan& plan, std::span<const float> values,
+                          std::span<const std::uint32_t> groups) {
+  check_plan(plan, values, groups);
+  const CodecInfo& info = codec_info(plan.id);
+  if (!info.zero_rle) {
+    return (values.size() * info.value_bits + 7) / 8;
+  }
+  std::size_t bytes = 0;
+  int run = 0;
+  auto flush = [&] {
+    while (run >= kZeroRunMin) {
+      const int chunk = run < kZeroRunMax ? run : kZeroRunMax;
+      bytes += 2;
+      run -= chunk;
+    }
+    bytes += static_cast<std::size_t>(run);
+    run = 0;
+  };
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (int8_quantize(values[i], plan.scale(group_of(groups, i))) == 0) {
+      ++run;
+    } else {
+      flush();
+      ++bytes;
+    }
+  }
+  flush();
+  return bytes;
+}
+
+}  // namespace helios::codec

@@ -1,0 +1,140 @@
+// Payload codecs for the wire formats: per-tensor and per-neuron scaled
+// int8 and fp16 encodings of a float value stream.
+//
+// The layer sits between tensor and net: it knows nothing about frames,
+// models or masks — callers hand it a flat value stream where each value is
+// tagged with a dense *group* id (the wire layer derives groups from the
+// model layout: one group per owning neuron plus a common group, or a
+// single group for per-tensor codecs), and the codec quantizes each group
+// against its own scale.
+//
+// Determinism contract (the reason every rounding rule is spelled out):
+// encode -> decode is an exact function of the inputs on every platform the
+// project targets, so the sender can predict the receiver's dequantized
+// values bit-for-bit — which is what the error-feedback accumulators and
+// the crash/resume bit-identity tests rely on.
+//
+//   * fp16 — software IEEE754 binary16 conversion, round-to-nearest-even,
+//     saturating at +-65504 (no F16C / hardware dependence).
+//   * int8 — per-group scale s = fp16(max|v| / 127) (the scale itself is
+//     stored and applied as the fp16-rounded value, so both sides use the
+//     identical grid); q = clamp(lround(v / s), -127, +127) evaluated in
+//     double (half-away-from-zero, the C standard's lround); dequantized
+//     value = float(q * s) in double arithmetic. q = 0 whenever s == 0
+//     (an all-zero group).
+//
+// int8 payloads ride a zero-run escape: the byte 0x80 (never a valid q —
+// the clamp is symmetric) followed by a u8 run length encodes a run of
+// >= 3 zero values, so the frequent exact-zero deltas of a training update
+// compress without any expansion in the worst case.
+//
+// NaN/Inf inputs are rejected with CodecError — a quantized frame must
+// never launder a non-finite value into the aggregation path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "codec/bitstream.h"
+
+namespace helios::codec {
+
+/// Registry of payload codecs. Fixed ids — they appear in wire frames.
+enum class CodecId : std::uint32_t {
+  kFp32 = 0,           // raw IEEE754 bits; the v1 wire format's encoding
+  kFp16 = 1,           // binary16, round-to-nearest-even
+  kInt8PerTensor = 2,  // one scale for the whole payload
+  kInt8PerNeuron = 3,  // one scale per owning neuron (+ the common group)
+  /// Dispatch-time only: pick whichever concrete codec yields the smallest
+  /// frame. Never appears on the wire.
+  kAuto = 0xFFFFFFFFU,
+};
+
+struct CodecInfo {
+  CodecId id = CodecId::kFp32;
+  const char* name = "";
+  /// Packed payload bits per value (before zero-run coding).
+  unsigned value_bits = 32;
+  /// Carries per-group fp16 scales.
+  bool scaled = false;
+  /// Scale groups follow neuron ownership (else a single group).
+  bool per_neuron_groups = false;
+  /// Payload uses the zero-run escape coding.
+  bool zero_rle = false;
+};
+
+/// Codec metadata; throws CodecError for kAuto or an unknown id.
+const CodecInfo& codec_info(CodecId id);
+/// True when `raw` names a concrete (wire-encodable) codec.
+bool codec_known(std::uint32_t raw);
+/// Parses "fp32" / "fp16" / "int8" / "int8pn" / "auto" (bench/CLI surface).
+CodecId codec_from_name(std::string_view name);
+/// Short name for reports ("fp32", "fp16", "int8", "int8pn", "auto").
+const char* codec_name(CodecId id);
+
+// ---- fp16 ------------------------------------------------------------------
+
+/// float -> binary16 bits, round-to-nearest-even, saturating at +-65504.
+std::uint16_t fp16_from_float(float v);
+/// binary16 bits -> float (exact).
+float fp16_to_float(std::uint16_t h);
+
+/// Throws CodecError when any value is NaN or +-Inf.
+void reject_non_finite(std::span<const float> values, const char* what);
+
+// ---- Group-scaled quantization ---------------------------------------------
+
+/// The per-group scales of one encoded payload. For unscaled codecs
+/// (fp32/fp16) the scale list is empty.
+struct QuantPlan {
+  CodecId id = CodecId::kFp32;
+  /// Per dense-group fp16 scale bit patterns, group 0 first. The fp16 bits
+  /// are the canonical form — they are what crosses the wire.
+  std::vector<std::uint16_t> scale_bits;
+
+  float scale(std::size_t group) const {
+    return fp16_to_float(scale_bits.at(group));
+  }
+};
+
+/// Computes the quantization plan for a tagged value stream: values[i]
+/// belongs to dense group groups[i] (an empty `groups` span means all
+/// values are group 0). Rejects NaN/Inf values. `group_count` sizes the
+/// scale list for scaled codecs.
+QuantPlan plan_quantization(CodecId id, std::span<const float> values,
+                            std::span<const std::uint32_t> groups,
+                            std::size_t group_count);
+
+/// Appends the packed payload of `values` under `plan` to `out`; returns
+/// the number of bytes appended. The packing is byte-aligned at the end.
+std::size_t encode_values(const QuantPlan& plan, std::span<const float> values,
+                          std::span<const std::uint32_t> groups,
+                          std::vector<std::uint8_t>& out);
+
+/// Decodes exactly `count` values, consuming all of `payload` (throws
+/// CodecError on a short or oversized stream).
+std::vector<float> decode_values(const QuantPlan& plan,
+                                 std::span<const std::uint8_t> payload,
+                                 std::span<const std::uint32_t> groups,
+                                 std::size_t count);
+
+/// The dequantized values an encode -> decode round trip would produce,
+/// without serializing — the sender-side mirror the error-feedback
+/// accumulators difference against.
+std::vector<float> dequantized_values(const QuantPlan& plan,
+                                      std::span<const float> values,
+                                      std::span<const std::uint32_t> groups);
+
+/// Exact encoded payload size of `values` under `plan` (zero-run coding
+/// makes this value-dependent for the int8 codecs).
+std::size_t payload_bytes(const QuantPlan& plan, std::span<const float> values,
+                          std::span<const std::uint32_t> groups);
+
+/// One dequantized value (the decoder's exact arithmetic): fp16 round trip
+/// for kFp16, scale-grid snap for the int8 codecs, identity for kFp32.
+float dequantize_one(const QuantPlan& plan, float value, std::uint32_t group);
+
+}  // namespace helios::codec

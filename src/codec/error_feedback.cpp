@@ -1,0 +1,38 @@
+#include "codec/error_feedback.h"
+
+#include <cmath>
+#include <utility>
+
+#include "codec/bitstream.h"  // CodecError
+
+namespace helios::codec {
+
+std::vector<float>& ErrorFeedback::residual(int client_id,
+                                            std::size_t param_count) {
+  auto [it, inserted] = residuals_.try_emplace(client_id);
+  if (inserted) {
+    it->second.assign(param_count, 0.0f);
+  } else if (it->second.size() != param_count) {
+    throw CodecError("error feedback: residual length mismatch");
+  }
+  return it->second;
+}
+
+const std::vector<float>* ErrorFeedback::find(int client_id) const {
+  const auto it = residuals_.find(client_id);
+  return it == residuals_.end() ? nullptr : &it->second;
+}
+
+double ErrorFeedback::l2_norm(int client_id) const {
+  const std::vector<float>* r = find(client_id);
+  if (r == nullptr) return 0.0;
+  double sq = 0.0;
+  for (float v : *r) sq += static_cast<double>(v) * v;
+  return std::sqrt(sq);
+}
+
+void ErrorFeedback::assign(int client_id, std::vector<float> residual) {
+  residuals_[client_id] = std::move(residual);
+}
+
+}  // namespace helios::codec

@@ -12,13 +12,38 @@ namespace helios::fl {
 
 namespace {
 
-/// Exact sparse-delta frame size for `kept` changed entries (see net/wire.h).
+/// Exact sparse-delta frame size for the kept changed entries at `codec`'s
+/// encoded payload width (see net/wire.h). kAuto is sized as fp32 — the
+/// upper bound the auto encoder never exceeds.
 std::size_t sparse_wire_bytes(const ClientUpdate& update,
                               const net::WireLayout& layout,
-                              std::size_t kept) {
+                              std::span<const std::size_t> kept,
+                              codec::CodecId codec) {
   const int masked_total =
       update.trained_mask.empty() ? 0 : layout.neuron_total;
-  return net::sparse_frame_bytes(kept, layout.buffer_count, masked_total);
+  if (codec == codec::CodecId::kFp32 || codec == codec::CodecId::kAuto) {
+    return net::sparse_frame_bytes(kept.size(), layout.buffer_count,
+                                   masked_total);
+  }
+  const codec::CodecInfo& info = codec::codec_info(codec);
+  std::size_t scale_count = 0;
+  if (info.scaled) {
+    if (info.per_neuron_groups) {
+      // One fp16 scale per distinct owning neuron among the kept entries
+      // (the common group counts once) — exactly the group list the wire
+      // encoder derives.
+      std::vector<std::uint32_t> keys;
+      keys.reserve(kept.size());
+      for (std::size_t f : kept) keys.push_back(layout.neuron_of[f]);
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      scale_count = keys.size();
+    } else {
+      scale_count = kept.empty() ? 0 : 1;
+    }
+  }
+  return net::sparse_frame_bytes(kept.size(), layout.buffer_count,
+                                 masked_total, codec, scale_count);
 }
 
 }  // namespace
@@ -26,7 +51,8 @@ std::size_t sparse_wire_bytes(const ClientUpdate& update,
 CompressionStats compress_update_topk(ClientUpdate& update,
                                       std::span<const float> base,
                                       double keep_fraction,
-                                      const net::WireLayout* layout) {
+                                      const net::WireLayout* layout,
+                                      codec::CodecId codec) {
   if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
     throw std::invalid_argument("compress_update_topk: bad keep_fraction");
   }
@@ -44,7 +70,7 @@ CompressionStats compress_update_topk(ClientUpdate& update,
   if (keep_fraction >= 1.0 || changed.empty()) {
     stats.kept_entries = changed.size();
     if (layout != nullptr) {
-      stats.wire_bytes = sparse_wire_bytes(update, *layout, changed.size());
+      stats.wire_bytes = sparse_wire_bytes(update, *layout, changed, codec);
     }
     return stats;
   }
@@ -71,7 +97,9 @@ CompressionStats compress_update_topk(ClientUpdate& update,
   stats.relative_error =
       total_sq > 0.0 ? std::sqrt(dropped_sq / total_sq) : 0.0;
   if (layout != nullptr) {
-    stats.wire_bytes = sparse_wire_bytes(update, *layout, keep);
+    stats.wire_bytes = sparse_wire_bytes(
+        update, *layout, std::span<const std::size_t>(changed).first(keep),
+        codec);
   }
   const double ratio = static_cast<double>(keep) /
                        static_cast<double>(stats.total_entries);
@@ -106,7 +134,11 @@ void CompressedSyncFL::run_range(Fleet& fleet, RunResult& result, int begin,
       updates.push_back(client->run_cycle(base,
                                           fleet.server().global_buffers(),
                                           {}));
-      compress_update_topk(updates.back(), base, keep_fraction_, layout);
+      compress_update_topk(
+          updates.back(), base, keep_fraction_, layout,
+          fleet.network() != nullptr
+              ? fleet.network()->options().payload_codec
+              : codec::CodecId::kFp32);
       loss += updates.back().mean_loss;
     }
     NetDelivery net = deliver_round(fleet, updates, base);

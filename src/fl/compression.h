@@ -24,8 +24,8 @@ struct CompressionStats {
   /// L2 norm of the dropped delta relative to the full delta (0 = lossless).
   double relative_error = 0.0;
   /// Exact frame size of the compressed update on the wire (sparse-delta
-  /// encoding of the kept entries; see net/wire.h). 0 when no layout was
-  /// supplied.
+  /// encoding of the kept entries at the session's payload codec's actual
+  /// encoded width; see net/wire.h). 0 when no layout was supplied.
   std::size_t wire_bytes = 0;
 };
 
@@ -36,11 +36,16 @@ struct CompressionStats {
 /// no-op. Buffers are never compressed. When `layout` is given, the stats
 /// report the exact sparse-frame byte count the kept entries would cost on
 /// the wire — compression composes with the wire format: reverted entries
-/// equal the base, so the sparse encoder skips them.
+/// equal the base, so the sparse encoder skips them. `codec` sizes the
+/// payload at the wire codec's real encoded width (per-neuron scale count
+/// derived from the kept entries); kAuto is sized as fp32, the bound the
+/// auto encoder never exceeds.
 CompressionStats compress_update_topk(ClientUpdate& update,
                                       std::span<const float> base,
                                       double keep_fraction,
-                                      const net::WireLayout* layout = nullptr);
+                                      const net::WireLayout* layout = nullptr,
+                                      codec::CodecId codec =
+                                          codec::CodecId::kFp32);
 
 /// Synchronous FedAvg with per-client top-k compression — the comparison
 /// harness for accuracy-vs-communication sweeps.

@@ -7,12 +7,14 @@
 
 namespace helios::fl {
 
-HierarchySession::HierarchySession(Fleet& fleet, agg::TreeTopology topology)
+HierarchySession::HierarchySession(Fleet& fleet, agg::TreeTopology topology,
+                                   agg::MergeCodec merge_codec)
     : fleet_(fleet),
       topology_(topology),
       geometry_(agg::make_geometry(fleet.server().reference_model())) {
   if (topology_.active()) {
-    tree_ = std::make_unique<agg::AggregatorTree>(topology_, &geometry_);
+    tree_ =
+        std::make_unique<agg::AggregatorTree>(topology_, &geometry_, merge_codec);
   }
   fleet_.set_hierarchy(this);
 }
@@ -91,7 +93,7 @@ void HierarchySession::emit_tier_telemetry() {
   for (const agg::TierStats& t : tree_->tier_stats()) {
     sink->record_tier_merge(t.tier, t.frames_folded, t.bytes_forwarded,
                             t.deadline_misses, t.retransmits, t.lost_frames,
-                            t.fold_seconds);
+                            t.fold_seconds, t.raw_bytes);
   }
 }
 

@@ -28,8 +28,9 @@ void NetworkSession::track_clients() {
   }
 }
 
-std::vector<std::uint8_t> NetworkSession::encode(
-    const ClientUpdate& update, std::span<const float> base_params) const {
+namespace {
+
+net::WireMessage wire_message(const ClientUpdate& update) {
   net::WireMessage msg;
   msg.client_id = update.client_id;
   msg.sample_count = update.sample_count;
@@ -37,10 +38,96 @@ std::vector<std::uint8_t> NetworkSession::encode(
   msg.params = update.params;
   msg.buffers = update.buffers;
   msg.neuron_mask = update.trained_mask;
+  return msg;
+}
+
+/// Mirrors the wire encoder's shipped-entry rule: an entry crosses the wire
+/// unless a mask is present and its owning neuron is inactive.
+bool entry_shipped(const net::WireLayout& layout,
+                   std::span<const std::uint8_t> mask, std::size_t f) {
+  const std::uint32_t n = layout.neuron_of[f];
+  return mask.empty() || n == net::WireLayout::kCommonParam || mask[n] != 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> NetworkSession::encode(
+    const ClientUpdate& update, std::span<const float> base_params) const {
+  const net::WireMessage msg = wire_message(update);
   if (base_params.size() == layout_.param_count) {
-    return net::encode_frame_auto(msg, base_params, layout_);
+    return net::encode_frame_auto(msg, base_params, layout_,
+                                  options().payload_codec, nullptr);
   }
-  return net::encode_frame(msg, layout_);
+  return net::encode_frame(msg, layout_, options().payload_codec, nullptr);
+}
+
+std::vector<std::uint8_t> NetworkSession::encode_for_send(
+    const ClientUpdate& update, std::span<const float> base_params) {
+  const codec::CodecId id = options().payload_codec;
+  if (id == codec::CodecId::kFp32) return encode(update, base_params);
+
+  net::WireMessage msg = wire_message(update);
+  const bool have_base = base_params.size() == layout_.param_count;
+  const bool use_ef = options().error_feedback && have_base;
+
+  std::vector<float> compensated;
+  std::vector<float>* residual = nullptr;
+  if (use_ef) {
+    // Error feedback: add the residual the previous rounds' quantization
+    // left behind before quantizing this upload. Only shipped entries read
+    // it (unshipped entries never cross the wire and keep their residual).
+    residual = &feedback_.residual(update.client_id, layout_.param_count);
+    compensated.assign(update.params.begin(), update.params.end());
+    for (std::size_t f = 0; f < compensated.size(); ++f) {
+      compensated[f] += (*residual)[f];
+    }
+    msg.params = compensated;
+  }
+
+  net::CodecResult result;
+  std::vector<std::uint8_t> frame =
+      have_base ? net::encode_frame_auto(msg, base_params, layout_, id, &result)
+                : net::encode_frame(msg, layout_, id, &result);
+
+  if (use_ef) {
+    // residual' = compensated - what the receiver reconstructs; a lossless
+    // (fp32) frame delivers everything, clearing the shipped residual.
+    const bool lossless = result.codec == codec::CodecId::kFp32;
+    for (std::size_t f = 0; f < layout_.param_count; ++f) {
+      if (!entry_shipped(layout_, msg.neuron_mask, f)) continue;
+      (*residual)[f] =
+          lossless ? 0.0f : compensated[f] - result.dequantized[f];
+    }
+  }
+
+  if (obs::TelemetrySink* sink = fleet_.telemetry()) {
+    sink->record_codec(update.client_id,
+                       net::dense_frame_bytes(layout_, msg.neuron_mask),
+                       frame.size(),
+                       use_ef ? feedback_.l2_norm(update.client_id) : 0.0);
+  }
+  return frame;
+}
+
+void NetworkSession::save_state(const Fleet& fleet,
+                                CheckpointWriter& w) const {
+  (void)fleet;
+  const auto& all = feedback_.all();
+  w.u32(static_cast<std::uint32_t>(all.size()));
+  for (const auto& [client_id, residual] : all) {
+    w.i32(client_id);
+    w.vec_f32(residual);
+  }
+}
+
+void NetworkSession::load_state(Fleet& fleet, CheckpointReader& r) {
+  (void)fleet;
+  feedback_.clear();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int32_t client_id = r.i32();
+    feedback_.assign(client_id, r.vec_f32());
+  }
 }
 
 ClientUpdate NetworkSession::decode(std::span<const std::uint8_t> frame,
@@ -105,7 +192,7 @@ NetDelivery NetworkSession::deliver_round(std::span<const ClientUpdate> updates,
   std::vector<std::vector<std::uint8_t>> frames;
   frames.reserve(updates.size());
   for (const ClientUpdate& u : updates) {
-    frames.push_back(encode(u, base_params));
+    frames.push_back(encode_for_send(u, base_params));
   }
 
   if (!simulated()) {
@@ -221,7 +308,7 @@ NetworkSession::SingleDelivery NetworkSession::deliver_update(
     double start_s) {
   track_clients();
   obs::TelemetrySink* sink = fleet_.telemetry();
-  const std::vector<std::uint8_t> frame = encode(update, base_params);
+  const std::vector<std::uint8_t> frame = encode_for_send(update, base_params);
 
   SingleDelivery s;
   if (!simulated()) {

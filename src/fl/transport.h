@@ -31,6 +31,8 @@
 #include <span>
 #include <vector>
 
+#include "codec/error_feedback.h"
+#include "fl/checkpoint.h"
 #include "fl/fleet.h"
 #include "net/round_protocol.h"
 #include "net/wire.h"
@@ -70,7 +72,14 @@ struct NetDelivery {
   }
 };
 
-class NetworkSession {
+/// With a quantized NetworkOptions::payload_codec, uploads cross the wire
+/// as version-2 frames and (when error_feedback is on) each client's
+/// quantization residual is carried across rounds and added back into its
+/// next upload before quantizing — the error-feedback scheme that keeps
+/// the long-run aggregate unbiased. The residual bank is Checkpointable:
+/// register the session (e.g. as "codec_ef") to keep crash/resume
+/// bit-identical under quantization.
+class NetworkSession : public Checkpointable {
  public:
   /// Builds the wire layout from the fleet's server reference model,
   /// registers a channel per existing client, and attaches itself via
@@ -109,14 +118,29 @@ class NetworkSession {
                                 std::span<const float> base_params,
                                 double start_s);
 
-  /// Encodes `update` exactly as deliver would and returns the frame size.
+  /// Encodes `update` exactly as deliver would — minus error-feedback
+  /// compensation, which only a real send applies — and returns the size.
   std::size_t frame_bytes(const ClientUpdate& update,
                           std::span<const float> base_params) const;
+
+  /// The error-feedback residual bank (empty while payload_codec is kFp32
+  /// or error_feedback is off).
+  const codec::ErrorFeedback& feedback() const { return feedback_; }
+
+  /// Checkpointable: snapshots the residual bank so a resumed run's
+  /// compensated uploads stay bit-identical to the uninterrupted run.
+  void save_state(const Fleet& fleet, CheckpointWriter& w) const override;
+  void load_state(Fleet& fleet, CheckpointReader& r) override;
 
  private:
   void track_clients();
   std::vector<std::uint8_t> encode(const ClientUpdate& update,
                                    std::span<const float> base_params) const;
+  /// The sending path: applies error feedback (mutating the residual bank)
+  /// and records codec telemetry for quantized codecs; kFp32 falls through
+  /// to the const encoder.
+  std::vector<std::uint8_t> encode_for_send(
+      const ClientUpdate& update, std::span<const float> base_params);
   ClientUpdate decode(std::span<const std::uint8_t> frame,
                       std::span<const float> base_params,
                       const ClientUpdate& local) const;
@@ -126,6 +150,7 @@ class NetworkSession {
   Fleet& fleet_;
   net::WireLayout layout_;
   net::RoundProtocol protocol_;
+  codec::ErrorFeedback feedback_;
 };
 
 /// Legacy-path round closure shared by the synchronous strategies: without

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "codec/codec.h"
 #include "net/channel.h"
 
 namespace helios::net {
@@ -47,6 +48,14 @@ struct NetworkOptions {
   double deadline_factor = 0.0;
   /// Seeds the per-device channel Rngs (forked by device id).
   std::uint64_t seed = 0x5EEDU;
+  /// Wire codec for upload payload values. kFp32 (default) keeps every
+  /// frame byte-identical to version-1; a quantized codec (or kAuto)
+  /// ships version-2 frames. See src/codec.
+  codec::CodecId payload_codec = codec::CodecId::kFp32;
+  /// With a quantized payload_codec: carry each client's quantization
+  /// residual across rounds and add it back into the next upload (error
+  /// feedback). No effect under kFp32.
+  bool error_feedback = true;
 };
 
 class RoundProtocol {

@@ -1,8 +1,10 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
+#include <limits>
 
 namespace helios::net {
 namespace {
@@ -104,12 +106,13 @@ inline bool shipped(const WireLayout& layout,
   return mask.empty() || n == WireLayout::kCommonParam || mask[n] != 0;
 }
 
-void write_header(Writer& w, std::uint16_t flags, std::int32_t client_id,
-                  std::uint32_t neuron_total, std::uint64_t param_count,
-                  std::uint64_t buffer_count, std::uint64_t payload_count,
-                  std::uint64_t sample_count, double mean_loss) {
+void write_header(Writer& w, std::uint16_t version, std::uint16_t flags,
+                  std::int32_t client_id, std::uint32_t neuron_total,
+                  std::uint64_t param_count, std::uint64_t buffer_count,
+                  std::uint64_t payload_count, std::uint64_t sample_count,
+                  double mean_loss) {
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u16(flags);
   w.u32(std::bit_cast<std::uint32_t>(client_id));
   w.u32(neuron_total);
@@ -146,6 +149,181 @@ void check_message(const WireMessage& msg, const WireLayout& layout) {
       msg.neuron_mask.size() != static_cast<std::size_t>(layout.neuron_total)) {
     throw WireError("wire: message mask size does not match layout");
   }
+}
+
+// ---- v2 quantized payloads -------------------------------------------------
+
+/// Sorted unique scale-group keys; a key's dense group id is its index
+/// here. Keys are owning-neuron ids with WireLayout::kCommonParam (the max
+/// u32) for common parameters, so ascending order puts the common group
+/// last — deterministically on both sides.
+std::vector<std::uint32_t> unique_keys(std::vector<std::uint32_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+/// Group tagging of a shipped-index list for `info`'s scale layout: one
+/// group per distinct key (per-neuron codecs) or a single group 0.
+struct GroupTags {
+  std::vector<std::uint32_t> keys;    // per dense group id
+  std::vector<std::uint32_t> groups;  // per value
+};
+
+GroupTags derive_groups(const WireLayout& layout,
+                        std::span<const std::uint32_t> ship,
+                        const codec::CodecInfo& info) {
+  GroupTags t;
+  if (!info.scaled) return t;
+  if (!info.per_neuron_groups) {
+    if (!ship.empty()) t.keys.assign(1, 0U);
+    t.groups.assign(ship.size(), 0U);
+    return t;
+  }
+  std::vector<std::uint32_t> raw;
+  raw.reserve(ship.size());
+  for (std::uint32_t f : ship) raw.push_back(layout.neuron_of[f]);
+  t.keys = unique_keys(raw);
+  t.groups.reserve(raw.size());
+  for (std::uint32_t k : raw) {
+    t.groups.push_back(static_cast<std::uint32_t>(
+        std::lower_bound(t.keys.begin(), t.keys.end(), k) - t.keys.begin()));
+  }
+  return t;
+}
+
+/// The value stream a quantized frame carries: every shipped flat index in
+/// ascending order with its delta (or absolute value, without a base).
+struct QuantStream {
+  std::vector<std::uint32_t> ship;
+  std::vector<float> values;
+  GroupTags tags;
+  bool delta = false;
+};
+
+QuantStream build_quant_stream(const WireMessage& msg,
+                               std::span<const float> base,
+                               const WireLayout& layout,
+                               const codec::CodecInfo& info) {
+  QuantStream s;
+  s.delta = base.size() == layout.param_count;
+  for (std::size_t f = 0; f < layout.param_count; ++f) {
+    if (!shipped(layout, msg.neuron_mask, f)) continue;
+    s.ship.push_back(static_cast<std::uint32_t>(f));
+    s.values.push_back(s.delta ? msg.params[f] - base[f] : msg.params[f]);
+  }
+  s.tags = derive_groups(layout, s.ship, info);
+  return s;
+}
+
+std::size_t quant_frame_overhead(const WireLayout& layout, bool has_mask,
+                                 std::size_t scale_count) {
+  return kHeaderBytesV2 + mask_wire_bytes(has_mask ? layout.neuron_total : 0) +
+         2 * scale_count + layout.buffer_count * sizeof(float) + kTrailerBytes;
+}
+
+std::vector<std::uint8_t> encode_frame_quant(const WireMessage& msg,
+                                             std::span<const float> base,
+                                             const WireLayout& layout,
+                                             codec::CodecId id,
+                                             CodecResult* result) {
+  const codec::CodecInfo& info = codec::codec_info(id);
+  const QuantStream s = build_quant_stream(msg, base, layout, info);
+  const codec::QuantPlan plan = codec::plan_quantization(
+      id, s.values, s.tags.groups, s.tags.keys.size());
+  const std::vector<float> dq =
+      codec::dequantized_values(plan, s.values, s.tags.groups);
+
+  const bool has_mask = !msg.neuron_mask.empty();
+  const std::size_t dense_payload =
+      codec::payload_bytes(plan, s.values, s.tags.groups);
+  const std::size_t dense_total =
+      quant_frame_overhead(layout, has_mask, plan.scale_bits.size()) +
+      dense_payload;
+
+  // Sparse candidate (needs the base): only entries whose quantized value
+  // is non-zero ship; dropped entries decode to the base exactly like the
+  // dense frame's zero deltas, so both encodings reconstruct identically.
+  // The scales stay the full stream's — they are what quantized the values.
+  std::vector<std::uint32_t> kept_ship;
+  std::vector<float> kept_values;
+  codec::QuantPlan kept_plan;
+  GroupTags kept_tags;
+  std::size_t sparse_total = std::numeric_limits<std::size_t>::max();
+  if (s.delta) {
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < dq.size(); ++i) {
+      if (dq[i] != 0.0f) kept.push_back(i);
+    }
+    kept_ship.reserve(kept.size());
+    kept_values.reserve(kept.size());
+    for (std::size_t i : kept) {
+      kept_ship.push_back(s.ship[i]);
+      kept_values.push_back(s.values[i]);
+    }
+    kept_tags = derive_groups(layout, kept_ship, info);
+    kept_plan.id = id;
+    if (info.scaled) {
+      kept_plan.scale_bits.reserve(kept_tags.keys.size());
+      for (std::uint32_t k : kept_tags.keys) {
+        const auto at = static_cast<std::size_t>(
+            std::lower_bound(s.tags.keys.begin(), s.tags.keys.end(), k) -
+            s.tags.keys.begin());
+        kept_plan.scale_bits.push_back(plan.scale_bits[at]);
+      }
+    }
+    const std::size_t sparse_payload =
+        codec::payload_bytes(kept_plan, kept_values, kept_tags.groups);
+    sparse_total =
+        quant_frame_overhead(layout, has_mask, kept_plan.scale_bits.size()) +
+        kept_ship.size() * sizeof(std::uint32_t) + sparse_payload;
+  }
+
+  const bool use_sparse = sparse_total < dense_total;
+  std::vector<std::uint8_t> out;
+  out.reserve(use_sparse ? sparse_total : dense_total);
+  Writer w(out);
+  std::uint16_t flags = has_mask ? kFlagHasMask : 0;
+  if (s.delta) flags |= kFlagDelta;
+  if (use_sparse) flags |= kFlagSparse;
+  const std::span<const float> values =
+      use_sparse ? std::span<const float>(kept_values)
+                 : std::span<const float>(s.values);
+  const GroupTags& tags = use_sparse ? kept_tags : s.tags;
+  const codec::QuantPlan& wire_plan = use_sparse ? kept_plan : plan;
+  write_header(w, kWireVersionQuant, flags, msg.client_id,
+               has_mask ? static_cast<std::uint32_t>(layout.neuron_total) : 0,
+               layout.param_count, layout.buffer_count, values.size(),
+               msg.sample_count, msg.mean_loss);
+  w.u32(static_cast<std::uint32_t>(id));
+  w.u32(static_cast<std::uint32_t>(
+      codec::payload_bytes(wire_plan, values, tags.groups)));
+  if (has_mask) append_packed_mask(out, msg.neuron_mask);
+  if (use_sparse) {
+    for (std::uint32_t f : kept_ship) w.u32(f);
+  }
+  for (std::uint16_t bits : wire_plan.scale_bits) w.u16(bits);
+  codec::encode_values(wire_plan, values, tags.groups, out);
+  for (float v : msg.buffers) w.f32(v);
+  w.u32(crc32(out));
+
+  if (result != nullptr) {
+    result->codec = id;
+    result->sparse = use_sparse;
+    if (s.delta) {
+      result->dequantized.assign(base.begin(), base.end());
+    } else {
+      // Without a base the encoder cannot know what the decoder fills
+      // unshipped entries with; shipped entries are still exact.
+      result->dequantized.assign(layout.param_count, 0.0f);
+    }
+    for (std::size_t i = 0; i < s.ship.size(); ++i) {
+      const std::uint32_t f = s.ship[i];
+      result->dequantized[f] =
+          s.delta ? base[f] + dq[i] : dq[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -207,6 +385,22 @@ std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
          buffer_count * sizeof(float) + kTrailerBytes;
 }
 
+std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
+                               int masked_neuron_total, codec::CodecId codec,
+                               std::size_t scale_count) {
+  if (codec == codec::CodecId::kFp32) {
+    return sparse_frame_bytes(entries, buffer_count, masked_neuron_total);
+  }
+  const codec::CodecInfo& info = codec::codec_info(codec);
+  // Zero-run coding never expands, so the unpacked width is the sparse
+  // payload's exact size (sparse entries are non-zero by construction).
+  const std::size_t payload = (entries * info.value_bits + 7) / 8;
+  return kHeaderBytesV2 + mask_wire_bytes(masked_neuron_total) +
+         entries * sizeof(std::uint32_t) +
+         (info.scaled ? 2 * scale_count : 0) + payload +
+         buffer_count * sizeof(float) + kTrailerBytes;
+}
+
 std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
                                        const WireLayout& layout) {
   check_message(msg, layout);
@@ -215,7 +409,7 @@ std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
   Writer w(out);
   const bool has_mask = !msg.neuron_mask.empty();
   const std::size_t payload = dense_payload_count(layout, msg.neuron_mask);
-  write_header(w, has_mask ? kFlagHasMask : 0, msg.client_id,
+  write_header(w, kWireVersion, has_mask ? kFlagHasMask : 0, msg.client_id,
                has_mask ? static_cast<std::uint32_t>(layout.neuron_total) : 0,
                layout.param_count, layout.buffer_count, payload,
                msg.sample_count, msg.mean_loss);
@@ -246,8 +440,9 @@ std::vector<std::uint8_t> encode_frame_sparse(const WireMessage& msg,
   out.reserve(sparse_frame_bytes(changed.size(), layout.buffer_count,
                                  has_mask ? layout.neuron_total : 0));
   Writer w(out);
-  write_header(w, static_cast<std::uint16_t>(
-                      kFlagSparse | (has_mask ? kFlagHasMask : 0)),
+  write_header(w, kWireVersion,
+               static_cast<std::uint16_t>(
+                   kFlagSparse | (has_mask ? kFlagHasMask : 0)),
                msg.client_id,
                has_mask ? static_cast<std::uint32_t>(layout.neuron_total) : 0,
                layout.param_count, layout.buffer_count, changed.size(),
@@ -279,6 +474,86 @@ std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
                         : encode_frame(msg, layout);
 }
 
+namespace {
+
+void fill_fp32_result(CodecResult* result,
+                      std::span<const std::uint8_t> frame) {
+  if (result == nullptr) return;
+  result->codec = codec::CodecId::kFp32;
+  result->sparse = frame.size() > 6 && (frame[6] & kFlagSparse) != 0;
+  result->dequantized.clear();
+}
+
+constexpr codec::CodecId kQuantCandidates[] = {
+    codec::CodecId::kFp16,
+    codec::CodecId::kInt8PerTensor,
+    codec::CodecId::kInt8PerNeuron,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
+                                       const WireLayout& layout,
+                                       codec::CodecId codec,
+                                       CodecResult* result) {
+  check_message(msg, layout);
+  if (codec == codec::CodecId::kFp32) {
+    std::vector<std::uint8_t> out = encode_frame(msg, layout);
+    fill_fp32_result(result, out);
+    return out;
+  }
+  if (codec == codec::CodecId::kAuto) {
+    std::vector<std::uint8_t> best = encode_frame(msg, layout);
+    CodecResult best_result;
+    fill_fp32_result(&best_result, best);
+    for (codec::CodecId id : kQuantCandidates) {
+      CodecResult cand_result;
+      std::vector<std::uint8_t> cand =
+          encode_frame_quant(msg, {}, layout, id, &cand_result);
+      if (cand.size() < best.size()) {
+        best = std::move(cand);
+        best_result = std::move(cand_result);
+      }
+    }
+    if (result != nullptr) *result = std::move(best_result);
+    return best;
+  }
+  return encode_frame_quant(msg, {}, layout, codec, result);
+}
+
+std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
+                                            std::span<const float> base,
+                                            const WireLayout& layout,
+                                            codec::CodecId codec,
+                                            CodecResult* result) {
+  check_message(msg, layout);
+  if (codec == codec::CodecId::kFp32) {
+    std::vector<std::uint8_t> out = encode_frame_auto(msg, base, layout);
+    fill_fp32_result(result, out);
+    return out;
+  }
+  if (base.size() != layout.param_count) {
+    return encode_frame(msg, layout, codec, result);
+  }
+  if (codec == codec::CodecId::kAuto) {
+    std::vector<std::uint8_t> best = encode_frame_auto(msg, base, layout);
+    CodecResult best_result;
+    fill_fp32_result(&best_result, best);
+    for (codec::CodecId id : kQuantCandidates) {
+      CodecResult cand_result;
+      std::vector<std::uint8_t> cand =
+          encode_frame_quant(msg, base, layout, id, &cand_result);
+      if (cand.size() < best.size()) {
+        best = std::move(cand);
+        best_result = std::move(cand_result);
+      }
+    }
+    if (result != nullptr) *result = std::move(best_result);
+    return best;
+  }
+  return encode_frame_quant(msg, base, layout, codec, result);
+}
+
 DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
                             const WireLayout& layout,
                             std::span<const float> base_params) {
@@ -296,7 +571,7 @@ DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
   Reader r(frame);
   if (r.u32() != kWireMagic) throw WireError("wire: bad magic");
   const std::uint16_t version = r.u16();
-  if (version != kWireVersion) {
+  if (version != kWireVersion && version != kWireVersionQuant) {
     throw WireError("wire: unsupported version " + std::to_string(version));
   }
   const std::uint16_t flags = r.u16();
@@ -310,6 +585,25 @@ DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
   msg.mean_loss = r.f64();
   msg.sparse = (flags & kFlagSparse) != 0;
   const bool has_mask = (flags & kFlagHasMask) != 0;
+  const bool delta = (flags & kFlagDelta) != 0;
+
+  codec::CodecId payload_codec = codec::CodecId::kFp32;
+  std::size_t packed_bytes = 0;
+  if (version == kWireVersionQuant) {
+    const std::uint32_t codec_raw = r.u32();
+    packed_bytes = r.u32();
+    if (!codec::codec_known(codec_raw)) {
+      throw WireError("wire: unknown payload codec " +
+                      std::to_string(codec_raw));
+    }
+    payload_codec = static_cast<codec::CodecId>(codec_raw);
+    if (payload_codec == codec::CodecId::kFp32) {
+      // fp32 payloads canonically ship as version-1 frames.
+      throw WireError("wire: v2 frame with fp32 codec");
+    }
+  } else if (delta) {
+    throw WireError("wire: v1 frame with delta flag");
+  }
 
   if (param_count != layout.param_count ||
       buffer_count != layout.buffer_count) {
@@ -333,13 +627,73 @@ DecodedMessage decode_frame(std::span<const std::uint8_t> frame,
   }
 
   const bool needs_base =
-      msg.sparse || (has_mask && dense_payload_count(layout, msg.neuron_mask) <
-                                     layout.param_count);
+      msg.sparse || delta ||
+      (has_mask && dense_payload_count(layout, msg.neuron_mask) <
+                       layout.param_count);
   if (needs_base && base_params.size() != layout.param_count) {
     throw WireError("wire: partial frame requires the base snapshot");
   }
 
-  if (msg.sparse) {
+  if (version == kWireVersionQuant) {
+    // Quantized payload: gather the shipped flat indices, re-derive the
+    // scale groups exactly as the encoder did, then unpack.
+    std::vector<std::uint32_t> ship;
+    if (msg.sparse) {
+      if (!delta) {
+        throw WireError("wire: sparse quantized frame without delta flag");
+      }
+      ship.reserve(payload_count);
+      for (std::uint64_t i = 0; i < payload_count; ++i) {
+        const std::uint32_t f = r.u32();
+        if (f >= layout.param_count) {
+          throw WireError("wire: sparse index out of range");
+        }
+        if (!ship.empty() && f <= ship.back()) {
+          throw WireError("wire: sparse indices not strictly ascending");
+        }
+        if (!shipped(layout, msg.neuron_mask, f)) {
+          throw WireError("wire: sparse index outside the shipped mask");
+        }
+        ship.push_back(f);
+      }
+    } else {
+      if (payload_count != dense_payload_count(layout, msg.neuron_mask)) {
+        throw WireError("wire: dense payload count does not match mask");
+      }
+      ship.reserve(payload_count);
+      for (std::size_t f = 0; f < layout.param_count; ++f) {
+        if (shipped(layout, msg.neuron_mask, f)) {
+          ship.push_back(static_cast<std::uint32_t>(f));
+        }
+      }
+    }
+
+    const codec::CodecInfo& info = codec::codec_info(payload_codec);
+    const GroupTags tags = derive_groups(layout, ship, info);
+    codec::QuantPlan plan;
+    plan.id = payload_codec;
+    plan.scale_bits.reserve(tags.keys.size());
+    for (std::size_t g = 0; g < tags.keys.size(); ++g) {
+      plan.scale_bits.push_back(r.u16());
+    }
+    const std::span<const std::uint8_t> payload = r.raw(packed_bytes);
+    std::vector<float> values;
+    try {
+      values = codec::decode_values(plan, payload, tags.groups, ship.size());
+    } catch (const codec::CodecError& e) {
+      throw WireError(std::string("wire: ") + e.what());
+    }
+
+    if (delta || has_mask || msg.sparse) {
+      msg.params.assign(base_params.begin(), base_params.end());
+    } else {
+      msg.params.assign(layout.param_count, 0.0f);
+    }
+    for (std::size_t i = 0; i < ship.size(); ++i) {
+      const std::uint32_t f = ship[i];
+      msg.params[f] = delta ? base_params[f] + values[i] : values[i];
+    }
+  } else if (msg.sparse) {
     msg.params.assign(base_params.begin(), base_params.end());
     for (std::uint64_t i = 0; i < payload_count; ++i) {
       const std::uint32_t f = r.u32();

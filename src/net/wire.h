@@ -35,6 +35,30 @@
 //        -     -  buffers (4 B each)
 //        -     4  CRC32 (IEEE 802.3) over every preceding byte
 //
+// Version 2 frames add a payload codec (src/codec): the same header fields
+// with version = 2, followed by a u32 codec id and a u32 packed-payload
+// byte count, and the payload values ship quantized (fp16, or int8 against
+// per-tensor / per-neuron fp16 scales) instead of as raw fp32 bits. v2
+// payloads are *delta-coded* whenever the encoder holds the base snapshot
+// (flag bit 2): the shipped value is params - base and the decoder adds it
+// back, which is what keeps the quantization grid centered on the update.
+// The fp32 codec always emits byte-identical version-1 frames, so enabling
+// the codec layer with kFp32 changes nothing on the wire; the decoder
+// accepts both versions.
+//
+//   v2 layout: 56-byte v1 header (version = 2)
+//              + u32 codec_id + u32 payload_bytes        (header = 64 B)
+//              + mask bytes (flag bit 0)
+//              + sparse only: payload_count u32 flat indices, ascending
+//              + scale_count fp16 scale bit patterns (int8 codecs; 2 B each)
+//              + packed payload values (payload_bytes; see codec/codec.h)
+//              + buffers (4 B each, never quantized) + CRC32
+//
+// scale_count is not stored: both sides derive the group list — one group
+// per owning neuron plus the common group, or a single group — from the
+// layout and mask (dense) or the index list (sparse), so a frame cannot
+// smuggle mismatched scales past validation.
+//
 // Decoding validates magic, version, CRC, counts and exact frame length,
 // and throws WireError on any mismatch (corruption, truncation, or a frame
 // built for a different architecture).
@@ -47,6 +71,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.h"
 #include "nn/model.h"
 
 namespace helios::net {
@@ -59,12 +84,18 @@ class WireError : public std::runtime_error {
 
 inline constexpr std::uint32_t kWireMagic = 0x31465748U;  // "HWF1"
 inline constexpr std::uint16_t kWireVersion = 1;
+/// Quantized-payload frames (codec id in the header extension).
+inline constexpr std::uint16_t kWireVersionQuant = 2;
 inline constexpr std::size_t kHeaderBytes = 56;
+/// v2 header: v1 fields + u32 codec id + u32 packed-payload byte count.
+inline constexpr std::size_t kHeaderBytesV2 = kHeaderBytes + 8;
 inline constexpr std::size_t kTrailerBytes = 4;  // CRC32
 
 enum WireFlags : std::uint16_t {
   kFlagHasMask = 1U << 0,
   kFlagSparse = 1U << 1,
+  /// v2: payload values are deltas against the base snapshot.
+  kFlagDelta = 1U << 2,
 };
 
 /// Static description of a model's flat layout, shared by encoder and
@@ -122,6 +153,25 @@ std::size_t dense_frame_bytes(const WireLayout& layout,
 std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
                                int masked_neuron_total);
 
+/// Codec-aware sparse frame size: the actual encoded payload width of
+/// `codec` (v2 framing with `scale_count` fp16 scales) instead of the v1
+/// 8-bytes-per-entry fp32 assumption. kFp32 reduces to the v1 size.
+std::size_t sparse_frame_bytes(std::size_t entries, std::size_t buffer_count,
+                               int masked_neuron_total, codec::CodecId codec,
+                               std::size_t scale_count);
+
+/// What a quantized encode actually shipped — the sender-side mirror the
+/// error-feedback accumulators and the codec telemetry need.
+struct CodecResult {
+  /// Concrete codec the frame was encoded with (kAuto resolved).
+  codec::CodecId codec = codec::CodecId::kFp32;
+  bool sparse = false;
+  /// The full flat parameter vector exactly as decode_frame will
+  /// reconstruct it (base + dequantized delta; unshipped entries = base).
+  /// Empty for kFp32 — the v1 path is lossless.
+  std::vector<float> dequantized;
+};
+
 /// Encodes `msg` as a dense frame.
 std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
                                        const WireLayout& layout);
@@ -136,6 +186,26 @@ std::vector<std::uint8_t> encode_frame_sparse(const WireMessage& msg,
 std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
                                             std::span<const float> base,
                                             const WireLayout& layout);
+
+/// Codec-aware encoder: kFp32 is byte-identical to the 3-argument overload
+/// (a v1 frame); a quantized codec emits the smaller of the v2 dense /
+/// sparse encodings; kAuto additionally picks the cheapest codec (smallest
+/// frame, lowest codec id on ties). `result`, when non-null, receives the
+/// chosen codec and the receiver's exact dequantized view. Throws
+/// codec::CodecError on NaN/Inf payload values.
+std::vector<std::uint8_t> encode_frame_auto(const WireMessage& msg,
+                                            std::span<const float> base,
+                                            const WireLayout& layout,
+                                            codec::CodecId codec,
+                                            CodecResult* result = nullptr);
+
+/// Codec-aware dense encoder for messages with no usable base snapshot
+/// (quantized values ship absolute, not delta-coded). kFp32 matches
+/// encode_frame exactly.
+std::vector<std::uint8_t> encode_frame(const WireMessage& msg,
+                                       const WireLayout& layout,
+                                       codec::CodecId codec,
+                                       CodecResult* result);
 
 /// Decodes and validates a frame. `base_params` supplies the values of
 /// unshipped entries; it must have layout.param_count entries whenever the

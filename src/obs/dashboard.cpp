@@ -26,7 +26,8 @@ void StragglerDashboard::record_tier(std::string_view tier,
                                      std::uint64_t frames_folded,
                                      std::uint64_t bytes_forwarded,
                                      int deadline_misses, int retransmits,
-                                     int lost_frames, double fold_seconds) {
+                                     int lost_frames, double fold_seconds,
+                                     std::uint64_t raw_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tiers_.find(tier);
   if (it == tiers_.end()) it = tiers_.emplace(std::string(tier), TierTotals{}).first;
@@ -34,6 +35,7 @@ void StragglerDashboard::record_tier(std::string_view tier,
   ++t.merges;
   t.frames_folded += static_cast<long long>(frames_folded);
   t.bytes_forwarded += static_cast<long long>(bytes_forwarded);
+  t.raw_bytes += static_cast<long long>(raw_bytes);
   t.deadline_misses += deadline_misses;
   t.retransmits += retransmits;
   t.lost_frames += lost_frames;
@@ -58,7 +60,8 @@ void StragglerDashboard::render(std::ostream& os) const {
 void StragglerDashboard::render_devices(std::ostream& os) const {
   util::Table table({"device", "role", "volume", "cycles", "r_n", "alpha_n",
                      "forced", "C_s 0/1/2/3+", "compute (s)", "comm (s)",
-                     "upload (MB)", "wire (MB)", "retx", "drops"});
+                     "upload (MB)", "wire (MB)", "saved (MB)", "retx",
+                     "drops"});
   for (const auto& [id, d] : devices_) {
     const std::string cs = std::to_string(d.cs_hist[0]) + "/" +
                            std::to_string(d.cs_hist[1]) + "/" +
@@ -74,6 +77,8 @@ void StragglerDashboard::render_devices(std::ostream& os) const {
                    util::Table::num(d.comm_seconds, 3),
                    util::Table::num(d.upload_mb, 2),
                    util::Table::num(static_cast<double>(d.wire_bytes) / 1e6, 2),
+                   util::Table::num(static_cast<double>(d.bytes_saved) / 1e6,
+                                    2),
                    std::to_string(d.retransmits), std::to_string(d.drops)});
   }
   table.print(os);
@@ -96,6 +101,7 @@ struct FleetSummary {
   long long forced = 0;
   long long drops = 0;
   long long retransmits = 0;
+  long long bytes_saved = 0;  // fleet total the wire codec avoided
 };
 
 FleetSummary collect_summary(const std::map<int, DeviceStats>& devices) {
@@ -113,6 +119,7 @@ FleetSummary collect_summary(const std::map<int, DeviceStats>& devices) {
     s.forced += d.forced_neurons;
     s.drops += d.drops;
     s.retransmits += d.retransmits;
+    s.bytes_saved += d.bytes_saved;
   }
   return s;
 }
@@ -141,7 +148,13 @@ void StragglerDashboard::render_summary(std::ostream& os) const {
   os << "fleet: " << s.devices << " devices (" << s.stragglers
      << " stragglers, " << s.dead << " dead), " << s.cycles << " cycles, "
      << s.forced << " forced neurons, " << s.retransmits << " retx, "
-     << s.drops << " drops\n";
+     << s.drops << " drops";
+  if (s.bytes_saved != 0) {
+    os << ", codec saved "
+       << util::Table::num(static_cast<double>(s.bytes_saved) / 1e6, 2)
+       << " MB";
+  }
+  os << "\n";
 
   util::Table table({"metric", "p50", "p90", "p99", "mean", "max"});
   for (const SummaryRow& r : summary_rows(s)) {
@@ -162,11 +175,12 @@ void StragglerDashboard::render_summary(std::ostream& os) const {
 void StragglerDashboard::render_tiers(std::ostream& os) const {
   if (tiers_.empty()) return;
   util::Table table({"tier", "merges", "frames folded", "fwd (MB)",
-                     "tier misses", "retx", "lost", "fold (s)"});
+                     "raw (MB)", "tier misses", "retx", "lost", "fold (s)"});
   for (const auto& [name, t] : tiers_) {
     table.add_row(
         {name, std::to_string(t.merges), std::to_string(t.frames_folded),
          util::Table::num(static_cast<double>(t.bytes_forwarded) / 1e6, 2),
+         util::Table::num(static_cast<double>(t.raw_bytes) / 1e6, 2),
          std::to_string(t.deadline_misses), std::to_string(t.retransmits),
          std::to_string(t.lost_frames), util::Table::num(t.fold_seconds, 3)});
   }
@@ -181,7 +195,8 @@ void StragglerDashboard::write_summary_json(std::ostream& os) const {
      << ",\n  \"cycles\": " << s.cycles
      << ",\n  \"forced_neurons\": " << s.forced
      << ",\n  \"retransmits\": " << s.retransmits
-     << ",\n  \"drops\": " << s.drops << ",\n  \"metrics\": {";
+     << ",\n  \"drops\": " << s.drops
+     << ",\n  \"bytes_saved\": " << s.bytes_saved << ",\n  \"metrics\": {";
   bool first = true;
   for (const SummaryRow& r : summary_rows(s)) {
     if (r.values.empty()) continue;
@@ -237,6 +252,7 @@ void StragglerDashboard::write_json(std::ostream& os) const {
        << ",\"comm_seconds\":" << d.comm_seconds
        << ",\"upload_mb\":" << d.upload_mb
        << ",\"wire_bytes\":" << d.wire_bytes
+       << ",\"bytes_saved\":" << d.bytes_saved
        << ",\"frames_sent\":" << d.frames_sent
        << ",\"frames_lost\":" << d.frames_lost
        << ",\"retransmits\":" << d.retransmits

@@ -25,6 +25,9 @@ struct TierTotals {
   long long merges = 0;           // rounds this tier reported
   long long frames_folded = 0;
   long long bytes_forwarded = 0;
+  /// f64-equivalent cost of the forwarded merge payloads — what the uplink
+  /// would have carried without a quantized merge codec.
+  long long raw_bytes = 0;
   long long deadline_misses = 0;
   long long retransmits = 0;
   long long lost_frames = 0;
@@ -61,6 +64,7 @@ struct DeviceStats {
   // Network simulation, accumulated per transfer (zero unless a
   // NetworkSession is attached).
   long long wire_bytes = 0;     // bytes that actually transited the wire
+  long long bytes_saved = 0;    // fp32-dense bytes the wire codec avoided
   int frames_sent = 0;          // transmissions (retransmits included)
   int frames_lost = 0;
   int retransmits = 0;
@@ -102,7 +106,8 @@ class StragglerDashboard {
   /// breakdown when any tier has reported.
   void record_tier(std::string_view tier, std::uint64_t frames_folded,
                    std::uint64_t bytes_forwarded, int deadline_misses,
-                   int retransmits, int lost_frames, double fold_seconds);
+                   int retransmits, int lost_frames, double fold_seconds,
+                   std::uint64_t raw_bytes = 0);
   /// Copy of a tier's totals (zero-valued default if never seen).
   TierTotals tier(std::string_view tier) const;
 

@@ -170,6 +170,16 @@ void RunJournal::transfer(const Stamp& s, std::size_t bytes_on_wire,
   commit(line);
 }
 
+void RunJournal::codec(const Stamp& s, std::size_t bytes_in,
+                       std::size_t bytes_out, double residual_norm) {
+  if (os_ == nullptr) return;
+  std::string line = open_line("codec", s, wall_ms());
+  append_field(line, "in", bytes_in);
+  append_field(line, "out", bytes_out);
+  append_field(line, "res", residual_norm);
+  commit(line);
+}
+
 void RunJournal::aggregation(const Stamp& s, double r_n, double alpha_share) {
   if (os_ == nullptr) return;
   std::string line = open_line("agg", s, wall_ms());
@@ -212,12 +222,13 @@ void RunJournal::tier_merge(const Stamp& s, std::string_view tier,
                             std::uint64_t frames_folded,
                             std::uint64_t bytes_forwarded, int deadline_misses,
                             int retransmits, int lost_frames,
-                            double fold_seconds) {
+                            double fold_seconds, std::uint64_t raw_bytes) {
   if (os_ == nullptr) return;
   std::string line = open_line("merge", s, wall_ms());
   append_string_field(line, "tier", tier);
   append_field(line, "frames", static_cast<long long>(frames_folded));
   append_field(line, "bytes", static_cast<long long>(bytes_forwarded));
+  append_field(line, "raw", static_cast<long long>(raw_bytes));
   append_field(line, "miss", deadline_misses);
   append_field(line, "retx", retransmits);
   append_field(line, "lost", lost_frames);

@@ -101,6 +101,10 @@ class RunJournal {
   void transfer(const Stamp& s, std::size_t bytes_on_wire, int transmissions,
                 int lost_frames, bool delivered, bool deadline_missed,
                 bool died, double comm_seconds);
+  /// One quantized upload encode: fp32-dense equivalent bytes in, actual
+  /// wire bytes out, and the client's carried error-feedback residual norm.
+  void codec(const Stamp& s, std::size_t bytes_in, std::size_t bytes_out,
+             double residual_norm);
   void aggregation(const Stamp& s, double r_n, double alpha_share);
   void rotation(const Stamp& s, int forced, int cs0, int cs1, int cs2,
                 int cs3);
@@ -116,7 +120,7 @@ class RunJournal {
   void tier_merge(const Stamp& s, std::string_view tier,
                   std::uint64_t frames_folded, std::uint64_t bytes_forwarded,
                   int deadline_misses, int retransmits, int lost_frames,
-                  double fold_seconds);
+                  double fold_seconds, std::uint64_t raw_bytes = 0);
   void churn(const Stamp& s, int arrivals, int departures,
              std::size_t population);
   void round_result(const Stamp& s, std::string_view strategy,

@@ -105,10 +105,20 @@ JournalSummary summarize_journal(const std::vector<JournalEvent>& events) {
       ++t.merges;
       t.frames_folded += static_cast<long long>(f.number_or("frames", 0.0));
       t.bytes_forwarded += static_cast<long long>(f.number_or("bytes", 0.0));
+      t.raw_bytes += static_cast<long long>(f.number_or("raw", 0.0));
       t.deadline_misses += static_cast<int>(f.number_or("miss", 0.0));
       t.retransmits += static_cast<int>(f.number_or("retx", 0.0));
       t.lost_frames += static_cast<int>(f.number_or("lost", 0.0));
       t.fold_seconds += f.number_or("fold_s", 0.0);
+    } else if (ev.type == "codec") {
+      DeviceJournal& d = s.devices[ev.device];
+      d.device = ev.device;
+      const auto in = static_cast<long long>(f.number_or("in", 0.0));
+      const auto out = static_cast<long long>(f.number_or("out", 0.0));
+      d.codec_raw_bytes += in;
+      d.codec_wire_bytes += out;
+      s.codec_raw_bytes += in;
+      s.codec_wire_bytes += out;
     } else if (ev.type == "churn") {
       s.churn_arrivals += static_cast<int>(f.number_or("in", 0.0));
       s.churn_departures += static_cast<int>(f.number_or("out", 0.0));
@@ -153,6 +163,23 @@ void write_summary(std::ostream& os, const JournalSummary& s) {
      << " lost, " << s.retransmits << " retx), " << s.drops << " drops, "
      << s.deadline_misses << " deadline misses, " << s.deaths << " deaths, "
      << s.renormalized_rounds << " renormalized rounds\n";
+  if (s.codec_raw_bytes > 0 && s.codec_raw_bytes != s.codec_wire_bytes) {
+    const double ratio =
+        s.codec_wire_bytes > 0
+            ? static_cast<double>(s.codec_raw_bytes) /
+                  static_cast<double>(s.codec_wire_bytes)
+            : 0.0;
+    os << "codec: "
+       << util::Table::num(static_cast<double>(s.codec_raw_bytes) / 1e6, 2)
+       << " MB fp32-dense -> "
+       << util::Table::num(static_cast<double>(s.codec_wire_bytes) / 1e6, 2)
+       << " MB on wire (" << util::Table::num(ratio, 2) << "x, saved "
+       << util::Table::num(
+              static_cast<double>(s.codec_raw_bytes - s.codec_wire_bytes) /
+                  1e6,
+              2)
+       << " MB)\n";
+  }
   if (s.churn_arrivals > 0 || s.churn_departures > 0) {
     os << "churn: +" << s.churn_arrivals << " / -" << s.churn_departures
        << " devices\n";
@@ -160,12 +187,14 @@ void write_summary(std::ostream& os, const JournalSummary& s) {
   if (!s.tiers.empty()) {
     os << "hierarchy:\n";
     util::Table tiers({"tier", "merges", "frames folded", "fwd (MB)",
-                       "tier misses", "retx", "lost", "fold (s)"});
+                       "raw (MB)", "tier misses", "retx", "lost", "fold (s)"});
     for (const auto& [name, t] : s.tiers) {
       tiers.add_row({name, std::to_string(t.merges),
                      std::to_string(t.frames_folded),
                      util::Table::num(
                          static_cast<double>(t.bytes_forwarded) / 1e6, 2),
+                     util::Table::num(
+                         static_cast<double>(t.raw_bytes) / 1e6, 2),
                      std::to_string(t.deadline_misses),
                      std::to_string(t.retransmits),
                      std::to_string(t.lost_frames),
@@ -219,7 +248,9 @@ void write_summary_json(std::ostream& os, const JournalSummary& s) {
      << ",\"deaths\":" << s.deaths
      << ",\"renormalized_rounds\":" << s.renormalized_rounds
      << ",\"churn_arrivals\":" << s.churn_arrivals
-     << ",\"churn_departures\":" << s.churn_departures;
+     << ",\"churn_departures\":" << s.churn_departures
+     << ",\"codec_raw_bytes\":" << s.codec_raw_bytes
+     << ",\"codec_wire_bytes\":" << s.codec_wire_bytes;
   if (!s.tiers.empty()) {
     os << ",\"tiers\":{";
     bool first_tier = true;
@@ -231,6 +262,7 @@ void write_summary_json(std::ostream& os, const JournalSummary& s) {
       os << "\":{\"merges\":" << t.merges
          << ",\"frames_folded\":" << t.frames_folded
          << ",\"bytes_forwarded\":" << t.bytes_forwarded
+         << ",\"raw_bytes\":" << t.raw_bytes
          << ",\"deadline_misses\":" << t.deadline_misses
          << ",\"retransmits\":" << t.retransmits
          << ",\"lost_frames\":" << t.lost_frames
@@ -255,6 +287,8 @@ void write_summary_json(std::ostream& os, const JournalSummary& s) {
        << ",\"compute_seconds\":" << d.compute_seconds
        << ",\"comm_seconds\":" << d.comm_seconds
        << ",\"wire_bytes\":" << d.wire_bytes
+       << ",\"codec_raw_bytes\":" << d.codec_raw_bytes
+       << ",\"codec_wire_bytes\":" << d.codec_wire_bytes
        << ",\"frames_sent\":" << d.frames_sent
        << ",\"frames_lost\":" << d.frames_lost
        << ",\"retransmits\":" << d.retransmits << ",\"drops\":" << d.drops
@@ -310,7 +344,14 @@ void replay_dashboard(const std::vector<JournalEvent>& events,
           static_cast<int>(f.number_or("miss", 0.0)),
           static_cast<int>(f.number_or("retx", 0.0)),
           static_cast<int>(f.number_or("lost", 0.0)),
-          f.number_or("fold_s", 0.0));
+          f.number_or("fold_s", 0.0),
+          static_cast<std::uint64_t>(f.number_or("raw", 0.0)));
+    } else if (ev.type == "codec") {
+      // Mirrors record_codec's dashboard update.
+      dash.update(ev.device, [&](DeviceStats& d) {
+        d.bytes_saved += static_cast<long long>(f.number_or("in", 0.0)) -
+                         static_cast<long long>(f.number_or("out", 0.0));
+      });
     } else if (ev.type == "xfer") {
       // Mirrors record_device_transfer.
       dash.update(ev.device, [&](DeviceStats& d) {
@@ -381,6 +422,10 @@ int write_diff(std::ostream& os, const JournalSummary& a,
        static_cast<double>(b.churn_arrivals)},
       {"churn_departures", static_cast<double>(a.churn_departures),
        static_cast<double>(b.churn_departures)},
+      {"codec_raw_bytes", static_cast<double>(a.codec_raw_bytes),
+       static_cast<double>(b.codec_raw_bytes)},
+      {"codec_wire_bytes", static_cast<double>(a.codec_wire_bytes),
+       static_cast<double>(b.codec_wire_bytes)},
   };
   int differing = emit_diff_rows(os, "run", run_rows);
 

@@ -53,6 +53,10 @@ struct DeviceJournal {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
   long long wire_bytes = 0;
+  /// From "codec" events: fp32-dense bytes the update would have cost vs
+  /// what the wire codec actually encoded (equal when the codec is fp32).
+  long long codec_raw_bytes = 0;
+  long long codec_wire_bytes = 0;
   int frames_sent = 0;
   int frames_lost = 0;
   int retransmits = 0;
@@ -85,6 +89,10 @@ struct JournalSummary {
   int renormalized_rounds = 0;
   int churn_arrivals = 0;
   int churn_departures = 0;
+  /// Wire-codec totals over "codec" events (zero when the run never
+  /// quantized): fp32-dense baseline vs encoded bytes.
+  long long codec_raw_bytes = 0;
+  long long codec_wire_bytes = 0;
 
   std::map<int, DeviceJournal> devices;  // ordered by device id
 

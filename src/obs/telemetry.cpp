@@ -281,16 +281,47 @@ void TelemetrySink::record_network_round(std::size_t bytes_on_wire,
   }
 }
 
+void TelemetrySink::record_codec(int device, std::size_t raw_bytes,
+                                 std::size_t wire_bytes,
+                                 double residual_norm) {
+  const LabelSet labels{{"device", device_label(device)}};
+  metrics_.counter("helios.codec.bytes_in_total", labels)
+      .add(static_cast<double>(raw_bytes));
+  metrics_.counter("helios.codec.bytes_out_total", labels)
+      .add(static_cast<double>(wire_bytes));
+  if (wire_bytes > 0) {
+    metrics_.histogram("helios.codec.ratio")
+        .observe(static_cast<double>(raw_bytes) /
+                 static_cast<double>(wire_bytes));
+  }
+  metrics_.gauge("helios.codec.residual_norm", labels).set(residual_norm);
+
+  dashboard_.update(device, [&](DeviceStats& d) {
+    d.bytes_saved += static_cast<long long>(raw_bytes) -
+                     static_cast<long long>(wire_bytes);
+  });
+
+  if (journal_) {
+    journal_->codec(journal_stamp(device), raw_bytes, wire_bytes,
+                    residual_norm);
+  }
+}
+
 void TelemetrySink::record_tier_merge(std::string_view tier,
                                       std::uint64_t frames_folded,
                                       std::uint64_t bytes_forwarded,
                                       int deadline_misses, int retransmits,
-                                      int lost_frames, double fold_seconds) {
+                                      int lost_frames, double fold_seconds,
+                                      std::uint64_t raw_bytes) {
   const LabelSet labels{{"tier", std::string(tier)}};
   metrics_.counter("helios.agg.frames_folded_total", labels)
       .add(static_cast<double>(frames_folded));
   metrics_.counter("helios.agg.bytes_forwarded_total", labels)
       .add(static_cast<double>(bytes_forwarded));
+  if (raw_bytes > 0) {
+    metrics_.counter("helios.agg.raw_bytes_total", labels)
+        .add(static_cast<double>(raw_bytes));
+  }
   if (deadline_misses > 0) {
     metrics_.counter("helios.agg.deadline_missed_total", labels)
         .add(static_cast<double>(deadline_misses));
@@ -307,12 +338,12 @@ void TelemetrySink::record_tier_merge(std::string_view tier,
 
   dashboard_.record_tier(tier, frames_folded, bytes_forwarded,
                          deadline_misses, retransmits, lost_frames,
-                         fold_seconds);
+                         fold_seconds, raw_bytes);
 
   if (journal_) {
     journal_->tier_merge(journal_stamp(-1), tier, frames_folded,
                          bytes_forwarded, deadline_misses, retransmits,
-                         lost_frames, fold_seconds);
+                         lost_frames, fold_seconds, raw_bytes);
   }
 }
 

@@ -143,14 +143,25 @@ class TelemetrySink {
                             int delivered, int lost_frames, int retransmits,
                             int deadline_misses, int deaths);
 
+  /// One quantized upload encode (src/codec): the bytes a v1 fp32-dense
+  /// frame would have cost, the actual wire bytes, and the client's carried
+  /// error-feedback residual L2 norm. Exported as the helios.codec.*
+  /// metrics, the dashboard's bytes-saved column, and the journal's
+  /// "codec" event.
+  void record_codec(int device, std::size_t raw_bytes, std::size_t wire_bytes,
+                    double residual_norm);
+
   /// One aggregator-tree tier's rollup for the round (hierarchical
   /// aggregation runs; `tier` is "edge", "regional" or "root"). Exported as
   /// the helios.agg.* counters labeled {tier=<name>}, the dashboard's
-  /// per-tier breakdown, and the journal's "merge" event.
+  /// per-tier breakdown, and the journal's "merge" event. `raw_bytes` is
+  /// what the forwarded merge payloads would have cost at f64 — the
+  /// quantized-uplink savings baseline (equal to bytes_forwarded minus
+  /// riders/retransmits when the tree runs the kF64 codec).
   void record_tier_merge(std::string_view tier, std::uint64_t frames_folded,
                          std::uint64_t bytes_forwarded, int deadline_misses,
-                         int retransmits, int lost_frames,
-                         double fold_seconds);
+                         int retransmits, int lost_frames, double fold_seconds,
+                         std::uint64_t raw_bytes = 0);
 
   /// One round's cohort draw (population-scale simulation): fleet size,
   /// active roster, and how many clients were sampled to participate.

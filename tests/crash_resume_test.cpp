@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -547,6 +548,82 @@ TEST(CrashResumeTest, HierarchyTreeResumeBitIdentical) {
         kill_at, tmp.file("ckpt_" + std::to_string(kill_at)));
     expect_identical(golden, resumed,
                      "hierarchy kill_at=" + std::to_string(kill_at));
+  }
+}
+
+// ---- Quantized codec + error feedback resume --------------------------------
+
+/// Helios with int8 per-neuron quantized uploads and error feedback on a
+/// lossy simulated network. The residual bank is cross-round state: every
+/// shipped frame folds last round's quantization error back in, so a resume
+/// that loses (or mangles) a single residual diverges immediately. The
+/// session registers as the "codec_ef" component; both the final model and
+/// the carried residual bank itself must match the uninterrupted run bit
+/// for bit.
+struct CodecSnapshot {
+  Snapshot snap;
+  std::map<int, std::vector<float>> residuals;
+};
+
+CodecSnapshot codec_ef_net_run(int kill_at, const std::string& ckpt) {
+  const int cycles = 5;
+  net::NetworkOptions nopts;
+  nopts.mode = net::NetMode::kSimulated;
+  nopts.payload_codec = codec::CodecId::kInt8PerNeuron;
+  nopts.error_feedback = true;
+  nopts.channel.loss_prob = 0.05;
+  nopts.channel.latency_s = 0.01;
+  nopts.channel.jitter_s = 0.02;
+
+  if (kill_at > 0) {
+    fl::Fleet fleet = testing::make_fleet();
+    fl::NetworkSession session(fleet, nopts);
+    fleet.register_checkpointable("codec_ef", &session);
+    core::HeliosStrategy strategy(core::HeliosConfig{});
+    fl::RunResult partial;
+    partial.method = strategy.name();
+    strategy.run_range(fleet, partial, 0, kill_at);
+    fleet.save_checkpoint(ckpt, &strategy, partial);
+    // Session (and its residual bank) dies here.
+  }
+
+  fl::Fleet fleet = testing::make_fleet();
+  fl::NetworkSession session(fleet, nopts);
+  fleet.register_checkpointable("codec_ef", &session);
+  core::HeliosStrategy strategy(core::HeliosConfig{});
+  fl::RunResult result;
+  if (kill_at > 0) {
+    result = fleet.resume(ckpt, &strategy);
+  } else {
+    result.method = strategy.name();
+  }
+  strategy.run_range(fleet, result, static_cast<int>(result.rounds.size()),
+                     cycles);
+  CodecSnapshot out;
+  out.snap = snapshot_of(fleet, std::move(result));
+  out.residuals = session.feedback().all();
+  return out;
+}
+
+TEST(CrashResumeTest, ErrorFeedbackResidualsResumeBitIdentical) {
+  TempDir tmp;
+  const CodecSnapshot golden = codec_ef_net_run(0, "");
+  ASSERT_FALSE(golden.residuals.empty());
+  for (int kill_at = 1; kill_at < 5; ++kill_at) {
+    const CodecSnapshot resumed = codec_ef_net_run(
+        kill_at, tmp.file("ckpt_" + std::to_string(kill_at)));
+    const std::string context = "codec_ef kill_at=" + std::to_string(kill_at);
+    expect_identical(golden.snap, resumed.snap, context);
+    ASSERT_EQ(golden.residuals.size(), resumed.residuals.size()) << context;
+    for (const auto& [id, r] : golden.residuals) {
+      const auto it = resumed.residuals.find(id);
+      ASSERT_NE(it, resumed.residuals.end()) << context << " client " << id;
+      ASSERT_EQ(r.size(), it->second.size()) << context << " client " << id;
+      EXPECT_EQ(std::memcmp(r.data(), it->second.data(),
+                            r.size() * sizeof(float)),
+                0)
+          << context << ": residual bank differs for client " << id;
+    }
   }
 }
 

@@ -17,6 +17,12 @@
 //   speedup_*_vs_scalar  regression when a matmul case drops below 2x
 //                        while the baseline held it, or any case falls
 //                        under old / 1.5
+//   wire_reduction_vs_fp32   regression when the int8pn codec drops below
+//                        its 4x acceptance floor, or any codec falls
+//                        under old / 1.5
+//   accuracy_delta_vs_fp32   regression when int8 quantization costs more
+//                        than 0.5% final accuracy vs the fp32 run; other
+//                        codecs ride the 0.05 drift rule
 //   *_cycles_per_call    informational only (machine-dependent)
 //   counts / bytes / MB  regression when off by > 20% + small abs slack
 //
@@ -138,6 +144,41 @@ Verdict judge(const std::string& path, double oldv, double newv,
   if (key == "rounds_per_second") {
     if (newv < oldv / 1.8 - 1e-9) {
       os << "throughput " << oldv << " -> " << newv << " rounds/s (< 1/1.8x)";
+      why = os.str();
+      return Verdict::kRegression;
+    }
+    return Verdict::kOk;
+  }
+  if (key == "wire_reduction_vs_fp32") {
+    // The quantized wire codec's acceptance floor: int8 per-neuron must
+    // keep a >= 4x measured wire-byte reduction over fp32 dense. Other
+    // codecs (fp16 sits near 2x) just must not lose most of their
+    // baseline's ratio.
+    const bool int8_case = path.find("int8pn") != std::string::npos;
+    if ((int8_case && newv < 4.0) || newv < oldv / 1.5) {
+      os << "wire reduction " << oldv << "x -> " << newv << "x vs fp32"
+         << (int8_case && newv < 4.0 ? " (below the 4x int8pn floor)" : "");
+      why = os.str();
+      return Verdict::kRegression;
+    }
+    return Verdict::kOk;
+  }
+  if (key == "accuracy_delta_vs_fp32") {
+    // The acceptance claim: int8 per-neuron with error feedback costs less
+    // than 0.5% final accuracy vs the fp32 run at the same loss rate — an
+    // absolute floor, not relative to the baseline value. fp16 rows ride
+    // the looser drift rule instead: on the toy sweep task their deltas
+    // are trajectory noise (a handful of eval samples), not codec cost.
+    const bool int8_case = path.find("int8") != std::string::npos;
+    if (int8_case && newv < -0.005) {
+      os << "accuracy delta vs fp32 " << oldv << " -> " << newv
+         << " (quantization cost exceeds the 0.5% floor)";
+      why = os.str();
+      return Verdict::kRegression;
+    }
+    if (newv < oldv - 0.05) {
+      os << "accuracy delta vs fp32 " << oldv << " -> " << newv
+         << " (dropped > 0.05 vs baseline)";
       why = os.str();
       return Verdict::kRegression;
     }
